@@ -1,0 +1,216 @@
+// Package repro's root benchmarks regenerate the paper's evaluation
+// through the Go benchmark harness: one benchmark family per table or
+// figure. Each benchmark compiles and simulates the workload and
+// reports the modeled inference latency as the custom metric
+// "latency_us" (the quantity the paper's figures plot), alongside the
+// usual wall-clock cost of running the toolchain itself.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Regenerate one experiment:
+//
+//	go test -bench=BenchmarkFig11
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/partition"
+	"repro/internal/sim"
+)
+
+// runPoint compiles and simulates one configuration point, reporting
+// the modeled latency.
+func runPoint(b *testing.B, g *graph.Graph, a *arch.Arch, opt core.Options) {
+	b.Helper()
+	var lastUS float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Compile(g, a, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := sim.Run(res.Program, sim.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastUS = out.Stats.LatencyMicros(a.ClockMHz)
+	}
+	b.ReportMetric(lastUS, "latency_us")
+}
+
+// BenchmarkFig11 sweeps every benchmark model across the four
+// configurations of Figure 11 (1-core, and 3-core Base/+Halo/+Stratum).
+func BenchmarkFig11(b *testing.B) {
+	for _, m := range models.All() {
+		g := m.Build()
+		points := []struct {
+			name string
+			a    *arch.Arch
+			opt  core.Options
+		}{
+			{"1core", arch.SingleCore(), core.Base()},
+			{"Base", arch.Exynos2100Like(), core.Base()},
+			{"Halo", arch.Exynos2100Like(), core.Halo()},
+			{"Stratum", arch.Exynos2100Like(), core.Stratum()},
+		}
+		for _, pt := range points {
+			b.Run(m.Name+"/"+pt.name, func(b *testing.B) {
+				runPoint(b, g, pt.a, pt.opt)
+			})
+		}
+	}
+}
+
+// BenchmarkFig12 measures the three pipelining variants of Figure 12
+// on the InceptionV3 stem, reporting the exposed idle before the
+// second convolution as "exposed_idle_us".
+func BenchmarkFig12(b *testing.B) {
+	var variants []experiments.Fig12Variant
+	var err error
+	for i := 0; i < b.N; i++ {
+		variants, err = experiments.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, v := range variants {
+		b.ReportMetric(v.ExposedIdleUS, fmt.Sprintf("idle_us_%s", v.Name[:3]))
+	}
+}
+
+// BenchmarkTable4 profiles InceptionV3 under the three partitioning
+// schemes of Table 4, reporting the per-run latency.
+func BenchmarkTable4(b *testing.B) {
+	g := models.InceptionV3()
+	a := arch.Exynos2100Like()
+	for _, sch := range []struct {
+		name string
+		mode partition.Mode
+	}{
+		{"spatial", partition.ForceSpatial},
+		{"channel", partition.ForceChannel},
+		{"adaptive", partition.Adaptive},
+	} {
+		b.Run(sch.name, func(b *testing.B) {
+			opt := core.Base()
+			opt.Partitioning = sch.mode
+			runPoint(b, g, a, opt)
+		})
+	}
+}
+
+// BenchmarkTable5 compares Halo-only, Stratum-only, and the combined
+// configuration on the InceptionV3 stem region (Table 5).
+func BenchmarkTable5(b *testing.B) {
+	g := models.InceptionV3Stem()
+	a := arch.Exynos2100Like()
+	stratumOnly := core.Base()
+	stratumOnly.Stratum = true
+	for _, cfg := range []struct {
+		name string
+		opt  core.Options
+	}{
+		{"Halo", core.Halo()},
+		{"Stratum", stratumOnly},
+		{"Combined", core.Stratum()},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			runPoint(b, g, a, cfg.opt)
+		})
+	}
+}
+
+// BenchmarkTable1 regenerates the partitioning-method enumeration of
+// Table 1 (a compile-time property; benchmarked for completeness of
+// the per-table harness).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table1(); len(rows) != 4 {
+			b.Fatal("table1 rows missing")
+		}
+	}
+}
+
+// BenchmarkTable2 rebuilds all six benchmark models (Table 2),
+// measuring graph-construction cost.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, m := range models.All() {
+			if g := m.Build(); g.Len() == 0 {
+				b.Fatal("empty model")
+			}
+		}
+	}
+}
+
+// BenchmarkCompile measures compiler throughput per model (full
+// +Stratum pipeline: partition, schedule, strata, tiling, lowering).
+func BenchmarkCompile(b *testing.B) {
+	a := arch.Exynos2100Like()
+	for _, m := range models.All() {
+		g := m.Build()
+		b.Run(m.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Compile(g, a, core.Stratum()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSync sweeps the barrier cost on MobileNetV2
+// (design-choice ablation A1: what stratum construction buys as
+// synchronization gets costlier).
+func BenchmarkAblationSync(b *testing.B) {
+	g := models.ByNameMust("MobileNetV2")
+	for _, syncUS := range []float64{0.5, 8} {
+		for _, opt := range []core.Options{core.Base(), core.Stratum()} {
+			b.Run(fmt.Sprintf("sync%gus/%s", syncUS, opt.Name()), func(b *testing.B) {
+				a := arch.Exynos2100Like()
+				a.SyncBaseCycles = a.MicrosToCycles(syncUS)
+				a.SyncJitterCycles = a.SyncBaseCycles
+				runPoint(b, g, a, opt)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationCores measures speedup scaling on homogeneous
+// 1..8-core platforms (ablation A4).
+func BenchmarkAblationCores(b *testing.B) {
+	g := models.ByNameMust("MobileNetV2")
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("%dcores", n), func(b *testing.B) {
+			runPoint(b, g, arch.Homogeneous(n), core.Stratum())
+		})
+	}
+}
+
+// BenchmarkSimulate measures simulator throughput on precompiled
+// programs.
+func BenchmarkSimulate(b *testing.B) {
+	a := arch.Exynos2100Like()
+	for _, m := range models.All() {
+		g := m.Build()
+		res, err := core.Compile(g, a, core.Stratum())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(m.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(res.Program, sim.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,86 @@
+// Command npubench regenerates every table and figure of the paper's
+// evaluation section on the simulated platform.
+//
+// Usage:
+//
+//	npubench                      # everything
+//	npubench -experiment fig11    # one experiment
+//	npubench -experiment table4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/experiments"
+)
+
+func main() {
+	which := flag.String("experiment", "all", "fig11, fig12, table1, table2, table4, table5, ablation, concurrent, or all")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		if *which != "all" && *which != name {
+			return
+		}
+		fmt.Printf("==== %s ====\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "npubench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table1", func() error {
+		experiments.PrintTable1(os.Stdout, experiments.Table1())
+		return nil
+	})
+	run("table2", func() error {
+		experiments.PrintTable2(os.Stdout, experiments.Table2())
+		return nil
+	})
+	run("fig11", func() error {
+		rows, err := experiments.Fig11()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig11(os.Stdout, rows)
+		return nil
+	})
+	run("fig12", func() error {
+		variants, err := experiments.Fig12()
+		if err != nil {
+			return err
+		}
+		return experiments.PrintFig12(os.Stdout, variants, arch.Exynos2100Like())
+	})
+	run("table4", func() error {
+		rows, err := experiments.Table4()
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable4(os.Stdout, rows)
+		return nil
+	})
+	run("table5", func() error {
+		rows, err := experiments.Table5()
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable5(os.Stdout, rows)
+		return nil
+	})
+	run("ablation", func() error {
+		return experiments.PrintAblations(os.Stdout)
+	})
+	run("concurrent", func() error {
+		rows, err := experiments.Concurrent()
+		if err != nil {
+			return err
+		}
+		experiments.PrintConcurrent(os.Stdout, rows)
+		return nil
+	})
+}

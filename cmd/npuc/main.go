@@ -1,0 +1,157 @@
+// Command npuc compiles a benchmark network for the simulated
+// multicore NPU and dumps the compiler's decisions: the layer
+// execution schedule, per-layer partitioning direction with the
+// deciding heuristic, the strata, and the lowered instruction counts.
+//
+// Usage:
+//
+//	npuc -model InceptionV3 -cores 3 -config stratum
+//	npuc -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/partition"
+	"repro/internal/report"
+	"repro/internal/serialize"
+)
+
+func main() {
+	model := flag.String("model", "MobileNetV2", "benchmark model name (see -list)")
+	list := flag.Bool("list", false, "list benchmark models and exit")
+	cores := flag.Int("cores", 3, "number of NPU cores (1 = single-core baseline, 3 = Exynos-2100-like)")
+	config := flag.String("config", "stratum", "optimization configuration: base, halo, stratum")
+	mode := flag.String("partition", "adaptive", "partitioning policy: adaptive, spatial, channel")
+	verbose := flag.Bool("v", false, "print every layer's partitioning decision")
+	out := flag.String("o", "", "write the compiled program (JSON) to this file for npusim -in")
+	layers := flag.Bool("layers", false, "print a per-layer decision table")
+	dot := flag.String("dot", "", "write a Graphviz DOT rendering (colored by direction, clustered by stratum)")
+	flag.Parse()
+
+	if *list {
+		for _, m := range models.All() {
+			fmt.Printf("%-17s %-17s input %s (%s)\n", m.Name, m.Category, m.Input, m.DType)
+		}
+		for _, m := range models.Extra() {
+			fmt.Printf("%-17s %-17s input %s (%s)  [extra]\n", m.Name, m.Category, m.Input, m.DType)
+		}
+		return
+	}
+
+	m, err := models.ByName(*model)
+	if err != nil {
+		fatal(err)
+	}
+	g := m.Build()
+
+	a, err := cliutil.Arch(*cores)
+	if err != nil {
+		fatal(err)
+	}
+	opt, err := cliutil.Config(*config)
+	if err != nil {
+		fatal(err)
+	}
+	opt.Partitioning, err = cliutil.Mode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+
+	res, err := core.Compile(g, a, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s on %s, %s configuration (%s partitioning)\n", g.Name, a.Name, opt.Name(), opt.Partitioning)
+	fmt.Printf("layers: %d   MACs: %.2fG   weights: %.1fMB\n",
+		g.Len(), float64(g.TotalMACs())/1e9, float64(g.TotalKernelBytes())/1e6)
+	fmt.Printf("instructions: %d   barriers: %d   redundant MACs: %.3fG\n",
+		res.Program.NumInstrs(), res.Program.NumBarriers, float64(res.RedundantMACs)/1e9)
+
+	dirCount := map[partition.Direction]int{}
+	for _, l := range g.Layers() {
+		if !l.IsInput() {
+			dirCount[res.Plans[l.ID].Direction]++
+		}
+	}
+	fmt.Printf("directions: spatial-H %d, spatial-W %d, channel %d, none %d\n",
+		dirCount[partition.DirSpatialH], dirCount[partition.DirSpatialW],
+		dirCount[partition.DirChannel], dirCount[partition.DirNone])
+
+	multi := 0
+	for _, s := range res.Strata {
+		if s.Len() > 1 {
+			multi++
+		}
+	}
+	fmt.Printf("strata: %d total, %d multi-layer\n", len(res.Strata), multi)
+	for _, s := range res.Strata {
+		if s.Len() <= 1 {
+			continue
+		}
+		fmt.Printf("  stratum of %d layers:", s.Len())
+		for _, id := range s.Layers {
+			fmt.Printf(" %s", g.Layer(id).Name)
+		}
+		fmt.Printf("  (+%.1fM redundant MACs)\n", float64(s.RedundantMACs)/1e6)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := serialize.SaveProgram(f, res.Program); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("compiled program written to %s\n", *out)
+	}
+
+	if *layers {
+		fmt.Println()
+		if err := report.Layers(os.Stdout, g, res); err != nil {
+			fatal(err)
+		}
+	}
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			fatal(err)
+		}
+		if err := report.DOT(f, g, res); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("DOT graph written to %s (render with: dot -Tsvg)\n", *dot)
+	}
+
+	if *verbose {
+		fmt.Println("\nschedule (execution order):")
+		for _, id := range res.Order {
+			l := g.Layer(id)
+			if l.IsInput() {
+				continue
+			}
+			p := res.Plans[id]
+			fmt.Printf("  %-28s %-9s %s\n", l.Name, p.Direction, p.Reason)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "npuc:", err)
+	os.Exit(1)
+}

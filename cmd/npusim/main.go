@@ -1,0 +1,152 @@
+// Command npusim compiles and simulates a benchmark network on the
+// multicore-NPU model, printing latency and per-core utilization, and
+// optionally writing a Chrome trace or a text Gantt chart.
+//
+// Usage:
+//
+//	npusim -model InceptionV3 -cores 3 -config stratum
+//	npusim -model MobileNetV2 -gantt 120
+//	npusim -model UNet -trace unet.json   # open in chrome://tracing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/serialize"
+	"repro/internal/sim"
+	"repro/internal/spm"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	model := flag.String("model", "MobileNetV2", "benchmark model name")
+	cores := flag.Int("cores", 3, "number of NPU cores")
+	config := flag.String("config", "stratum", "optimization configuration: base, halo, stratum")
+	mode := flag.String("partition", "adaptive", "partitioning policy: adaptive, spatial, channel")
+	inFile := flag.String("in", "", "simulate a precompiled program (from npuc -o) instead of compiling")
+	traceOut := flag.String("trace", "", "write Chrome trace JSON to this file")
+	gantt := flag.Int("gantt", 0, "print a text Gantt chart this many columns wide")
+	mem := flag.Bool("mem", false, "profile SPM occupancy per core")
+	flag.Parse()
+
+	if *inFile != "" {
+		simulateFile(*inFile, *traceOut, *gantt)
+		return
+	}
+
+	m, err := models.ByName(*model)
+	if err != nil {
+		fatal(err)
+	}
+	g := m.Build()
+
+	a, err := cliutil.Arch(*cores)
+	if err != nil {
+		fatal(err)
+	}
+	opt, err := cliutil.Config(*config)
+	if err != nil {
+		fatal(err)
+	}
+	opt.Partitioning, err = cliutil.Mode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+
+	res, err := core.Compile(g, a, opt)
+	if err != nil {
+		fatal(err)
+	}
+	needTrace := *traceOut != "" || *gantt > 0 || *mem
+	out, err := sim.Run(res.Program, sim.Config{CollectTrace: needTrace})
+	if err != nil {
+		fatal(err)
+	}
+
+	clock := a.ClockMHz
+	fmt.Printf("%s on %s, %s: %.1f us end-to-end\n",
+		g.Name, a.Name, opt.Name(), out.Stats.LatencyMicros(clock))
+	var idles, syncs []float64
+	for c, cs := range out.Stats.PerCore {
+		idles = append(idles, cs.Idle/float64(clock))
+		syncs = append(syncs, cs.SyncWait/float64(clock))
+		fmt.Printf("  %s: compute %.1fus  load %.1fus  store %.1fus  idle %.1fus  %.1fMB moved\n",
+			a.Cores[c].Name,
+			cs.ComputeBusy/float64(clock), cs.LoadBusy/float64(clock),
+			cs.StoreBusy/float64(clock), cs.Idle/float64(clock),
+			float64(cs.BytesLoaded+cs.BytesStored)/1e6)
+	}
+	fmt.Printf("  idle %sus, sync %sus across cores; %d barriers; %.2f GMACs executed\n",
+		stats.Summarize(idles), stats.Summarize(syncs),
+		out.Stats.Barriers, float64(out.Stats.TotalMACs())/1e9)
+
+	if *mem {
+		profiles, err := spm.Profile(res.Program, out.Trace)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("SPM occupancy:")
+		fmt.Print(spm.Report(profiles, a.ClockMHz))
+	}
+	if *gantt > 0 {
+		if err := trace.Gantt(os.Stdout, out.Trace, a, *gantt); err != nil {
+			fatal(err)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := trace.WriteChrome(f, out.Trace, a); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s (open in chrome://tracing)\n", *traceOut)
+	}
+}
+
+// simulateFile replays a precompiled program artifact.
+func simulateFile(path, traceOut string, gantt int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	p, err := serialize.LoadProgram(f)
+	if err != nil {
+		fatal(err)
+	}
+	out, err := sim.Run(p, sim.Config{CollectTrace: traceOut != "" || gantt > 0})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s on %s: %.1f us end-to-end (replayed from %s)\n",
+		p.Graph.Name, p.Arch.Name, out.Stats.LatencyMicros(p.Arch.ClockMHz), path)
+	if gantt > 0 {
+		if err := trace.Gantt(os.Stdout, out.Trace, p.Arch, gantt); err != nil {
+			fatal(err)
+		}
+	}
+	if traceOut != "" {
+		tf, err := os.Create(traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer tf.Close()
+		if err := trace.WriteChrome(tf, out.Trace, p.Arch); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "npusim:", err)
+	os.Exit(1)
+}

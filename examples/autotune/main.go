@@ -1,0 +1,44 @@
+// Autotune: profile-guided rebalancing. The compile-time cost model
+// balances partitions from the cores' nominal DMA rates (16/12/8
+// bytes/cycle), but when the shared bus is the real bottleneck, every
+// core gets roughly equal effective bandwidth and the analytic split
+// overloads the nominally fast core. The tuner measures each core's
+// bottleneck-engine occupancy on the simulator and shifts the
+// partitioning weights until latency stops improving — the paper's
+// "profiling execution assists to detect unwanted idle times and fix
+// the unbalance".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/npu"
+)
+
+func main() {
+	g := npu.BuildModel("MobileNetV2")
+
+	// Saturate the bus: cores advertise 16/12/8 B/cycle but share 8.
+	a := npu.Exynos2100Like()
+	a.BusBytesPerCycle = 8
+	fmt.Println("platform: per-core DMA 16/12/8 B/cycle, shared bus capped at 8 B/cycle")
+
+	res, err := npu.AutoBalance(g, a, npu.Stratum(), 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	clock := float64(a.ClockMHz)
+	fmt.Println("\ntuning iterations:")
+	for i, s := range res.Steps {
+		fmt.Printf("  iter %d: %8.1f us   scales %.2f / %.2f / %.2f\n",
+			i, s.LatencyCycles/clock, s.Scale[0], s.Scale[1], s.Scale[2])
+	}
+	first := res.Steps[0].LatencyCycles
+	fmt.Printf("\nbest: %.1f us (%.2f%% better than the analytic balance)\n",
+		res.BestLatencyCycles/clock, 100*(first-res.BestLatencyCycles)/first)
+	fmt.Println("note the direction: work shifts away from the nominally fast core")
+	fmt.Println("(scale P0 < 1) toward the slow one (scale P2 > 1), because the")
+	fmt.Println("saturated bus equalizes their effective bandwidth at runtime.")
+}

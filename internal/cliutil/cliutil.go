@@ -1,0 +1,56 @@
+// Package cliutil holds the flag-value parsers shared by the command-
+// line tools (npuc, npusim): architecture, configuration, and
+// partitioning-mode selection.
+package cliutil
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/partition"
+)
+
+// Arch returns the architecture for a -cores flag value: 1 is the
+// single-core baseline, 3 the Exynos-2100-like platform, anything else
+// a homogeneous n-core machine.
+func Arch(cores int) (*arch.Arch, error) {
+	switch {
+	case cores == 1:
+		return arch.SingleCore(), nil
+	case cores == 3:
+		return arch.Exynos2100Like(), nil
+	case cores > 0:
+		return arch.Homogeneous(cores), nil
+	default:
+		return nil, fmt.Errorf("invalid core count %d", cores)
+	}
+}
+
+// Config returns the optimization options for a -config flag value.
+func Config(name string) (core.Options, error) {
+	switch name {
+	case "base":
+		return core.Base(), nil
+	case "halo":
+		return core.Halo(), nil
+	case "stratum":
+		return core.Stratum(), nil
+	default:
+		return core.Options{}, fmt.Errorf("unknown config %q (base, halo, stratum)", name)
+	}
+}
+
+// Mode returns the partitioning policy for a -partition flag value.
+func Mode(name string) (partition.Mode, error) {
+	switch name {
+	case "adaptive":
+		return partition.Adaptive, nil
+	case "spatial":
+		return partition.ForceSpatial, nil
+	case "channel":
+		return partition.ForceChannel, nil
+	default:
+		return 0, fmt.Errorf("unknown partitioning %q (adaptive, spatial, channel)", name)
+	}
+}

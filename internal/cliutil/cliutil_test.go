@@ -1,0 +1,53 @@
+package cliutil
+
+import (
+	"testing"
+
+	"repro/internal/partition"
+)
+
+func TestArch(t *testing.T) {
+	a, err := Arch(1)
+	if err != nil || a.NumCores() != 1 {
+		t.Errorf("Arch(1) = %v, %v", a, err)
+	}
+	a, err = Arch(3)
+	if err != nil || a.Name != "exynos2100-like-3core" {
+		t.Errorf("Arch(3) = %v, %v", a, err)
+	}
+	a, err = Arch(6)
+	if err != nil || a.NumCores() != 6 {
+		t.Errorf("Arch(6) = %v, %v", a, err)
+	}
+	if _, err := Arch(0); err == nil {
+		t.Error("Arch(0) accepted")
+	}
+	if _, err := Arch(-2); err == nil {
+		t.Error("Arch(-2) accepted")
+	}
+}
+
+func TestConfig(t *testing.T) {
+	for _, name := range []string{"base", "halo", "stratum"} {
+		if _, err := Config(name); err != nil {
+			t.Errorf("Config(%q): %v", name, err)
+		}
+	}
+	if _, err := Config("turbo"); err == nil {
+		t.Error("unknown config accepted")
+	}
+	opt, _ := Config("stratum")
+	if !opt.Stratum || !opt.HaloExchange {
+		t.Error("stratum config incomplete")
+	}
+}
+
+func TestMode(t *testing.T) {
+	m, err := Mode("channel")
+	if err != nil || m != partition.ForceChannel {
+		t.Errorf("Mode(channel) = %v, %v", m, err)
+	}
+	if _, err := Mode("diagonal"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}

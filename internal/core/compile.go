@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/schedule"
+	"repro/internal/stratum"
+	"repro/internal/tensor"
+)
+
+// Compile lowers graph g for architecture a under the given options.
+func Compile(g *graph.Graph, a *arch.Arch, opt Options) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	// Stage 1: partition every layer (heuristics h1-h5 or forced mode).
+	part := partition.New(g, a)
+	part.Mode = opt.Partitioning
+	part.WeightScale = opt.WeightScale
+	plans := part.PlanAll()
+
+	// Stage 2: schedule layer execution. Algorithm 1's
+	// spatial_partitioning() predicate reads the partition decision;
+	// the pure depth-/breadth-first orders serve as ablations.
+	var order []graph.LayerID
+	switch opt.Scheduling {
+	case ScheduleDepthFirst:
+		order = schedule.DepthFirst(g)
+	case ScheduleBreadthFirst:
+		order = schedule.BreadthFirst(g)
+	default:
+		pred := func(l *graph.Layer) bool { return plans[l.ID].Direction.Spatial() }
+		order = schedule.New(g, pred).Order()
+	}
+	if err := schedule.Verify(g, order); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	// Stage 3: stratum construction (Algorithm 2), or singleton strata
+	// when disabled.
+	builder := stratum.New(g, a, plans, order)
+	var strata []stratum.Stratum
+	if opt.Stratum {
+		for _, s := range builder.Build() {
+			strata = append(strata, builder.TrimToFit(&s)...)
+		}
+	} else {
+		strata = singletonStrata(g, plans, order)
+	}
+	if err := builder.Validate(strata); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	var redundant int64
+	for _, s := range strata {
+		redundant += s.RedundantMACs
+	}
+
+	// Stage 4: tile and lower to per-core instruction streams.
+	em := newEmitter(g, a, opt, plans, order, strata)
+	prog, err := em.emit()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Program:       prog,
+		Plans:         plans,
+		Order:         order,
+		Strata:        strata,
+		RedundantMACs: redundant,
+	}, nil
+}
+
+// singletonStrata wraps every executable layer in its own stratum with
+// its planned (unexpanded) regions.
+func singletonStrata(g *graph.Graph, plans []partition.Plan, order []graph.LayerID) []stratum.Stratum {
+	var out []stratum.Stratum
+	for _, id := range order {
+		if g.Layer(id).IsInput() {
+			continue
+		}
+		regions := make([]tensor.Region, len(plans[id].Subs))
+		for i, s := range plans[id].Subs {
+			regions[i] = s.Out
+		}
+		out = append(out, stratum.Stratum{
+			Layers:   []graph.LayerID{id},
+			Expanded: map[graph.LayerID][]tensor.Region{id: regions},
+		})
+	}
+	return out
+}

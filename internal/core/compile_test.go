@@ -1,0 +1,225 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/partition"
+	"repro/internal/plan"
+	"repro/internal/tensor"
+)
+
+// smallCNN builds a representative network: stem convs, a residual
+// block with depthwise conv, pooling, and a classifier head.
+func smallCNN() *graph.Graph {
+	g := graph.New("smallcnn", tensor.Int8)
+	in := g.Input("input", tensor.NewShape(64, 64, 3))
+	c1 := g.MustAdd("conv1", ops.NewConv2D(3, 3, 2, 2, 32,
+		ops.SamePad(tensor.NewShape(64, 64, 3), 3, 3, 2, 2, 1, 1)), in)
+	r1 := g.MustAdd("relu1", ops.Activation{Func: ops.ReLU}, c1)
+	c2 := g.MustAdd("conv2", ops.NewConv2D(3, 3, 1, 1, 32,
+		ops.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), r1)
+	r2 := g.MustAdd("relu2", ops.Activation{Func: ops.ReLU}, c2)
+	dw := g.MustAdd("dw", ops.NewDepthwiseConv2D(3, 3, 1, 1,
+		ops.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), r2)
+	pw := g.MustAdd("pw", ops.NewConv2D(1, 1, 1, 1, 32, ops.Padding{}), dw)
+	add := g.MustAdd("add", ops.Add{Arity: 2}, r2, pw)
+	p1 := g.MustAdd("pool", ops.MaxPool2D{KH: 2, KW: 2, StrideH: 2, StrideW: 2}, add)
+	gap := g.MustAdd("gap", ops.GlobalAvgPool{}, p1)
+	fc := g.MustAdd("fc", ops.FullyConnected{OutC: 10}, gap)
+	g.MustAdd("softmax", ops.Softmax{}, fc)
+	return g
+}
+
+func configs() map[string]Options {
+	return map[string]Options{
+		"Base":     Base(),
+		"+Halo":    Halo(),
+		"+Stratum": Stratum(),
+	}
+}
+
+func TestCompileAllConfigs(t *testing.T) {
+	g := smallCNN()
+	for name, opt := range configs() {
+		for _, a := range []*archChoice{
+			{"3core", arch.Exynos2100Like()},
+			{"1core", arch.SingleCore()},
+		} {
+			res, err := Compile(g, a.a, opt)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, a.name, err)
+			}
+			if err := res.Program.Validate(); err != nil {
+				t.Errorf("%s/%s: program invalid: %v", name, a.name, err)
+			}
+			if res.Program.NumInstrs() == 0 {
+				t.Errorf("%s/%s: empty program", name, a.name)
+			}
+		}
+	}
+}
+
+type archChoice struct {
+	name string
+	a    *arch.Arch
+}
+
+func TestBaseHasBarrierPerMulticoreLayer(t *testing.T) {
+	g := smallCNN()
+	res, err := Compile(g, arch.Exynos2100Like(), Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Program.NumBarriers == 0 {
+		t.Error("Base on 3 cores must synchronize")
+	}
+	// Single core never synchronizes.
+	res1, err := Compile(g, arch.SingleCore(), Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Program.NumBarriers != 0 {
+		t.Errorf("single core has %d barriers", res1.Program.NumBarriers)
+	}
+}
+
+func TestHaloReducesBarriers(t *testing.T) {
+	g := smallCNN()
+	base, err := Compile(g, arch.Exynos2100Like(), Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	halo, err := Compile(g, arch.Exynos2100Like(), Halo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if halo.Program.NumBarriers >= base.Program.NumBarriers {
+		t.Errorf("halo barriers %d >= base %d", halo.Program.NumBarriers, base.Program.NumBarriers)
+	}
+	// Halo programs contain halo-exchange instructions.
+	found := false
+	for _, stream := range halo.Program.Cores {
+		for _, in := range stream {
+			if in.Op == plan.StoreHalo || in.Op == plan.LoadHalo {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no halo-exchange instructions in +Halo program")
+	}
+}
+
+func TestStratumReducesBarriersFurther(t *testing.T) {
+	// A deep conv chain where strata shine.
+	g := graph.New("chain", tensor.Int8)
+	prev := g.Input("input", tensor.NewShape(64, 64, 32))
+	for i := 0; i < 6; i++ {
+		prev = g.MustAdd("conv"+string(rune('a'+i)),
+			ops.NewConv2D(3, 3, 1, 1, 32, ops.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), prev)
+	}
+	a := arch.Exynos2100Like()
+	halo, err := Compile(g, a, Halo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat, err := Compile(g, a, Stratum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strat.Program.NumBarriers > halo.Program.NumBarriers {
+		t.Errorf("stratum barriers %d > halo %d", strat.Program.NumBarriers, halo.Program.NumBarriers)
+	}
+	if strat.RedundantMACs <= 0 {
+		t.Error("stratum compilation reported no redundant compute")
+	}
+	merged := false
+	for _, s := range strat.Strata {
+		if s.Len() > 1 {
+			merged = true
+		}
+	}
+	if !merged {
+		t.Error("no multi-layer strata built")
+	}
+	// Inside a stratum there is no halo-exchange: halo traffic drops.
+	haloBytes := func(p *plan.Program) int64 {
+		var b int64
+		for _, stream := range p.Cores {
+			for _, in := range stream {
+				if in.Op == plan.StoreHalo || in.Op == plan.LoadHalo {
+					b += in.Bytes
+				}
+			}
+		}
+		return b
+	}
+	if haloBytes(strat.Program) >= haloBytes(halo.Program) {
+		t.Errorf("stratum halo traffic %d >= halo config %d", haloBytes(strat.Program), haloBytes(halo.Program))
+	}
+	// Stratum runs redundant compute: its total MACs exceed the graph's.
+	var stratMACs int64
+	for c := range strat.Program.Cores {
+		stratMACs += strat.Program.TotalMACs(c)
+	}
+	if stratMACs <= g.TotalMACs() {
+		t.Errorf("stratum MACs %d <= graph MACs %d; redundancy missing", stratMACs, g.TotalMACs())
+	}
+}
+
+func TestForcedPartitioningModes(t *testing.T) {
+	g := smallCNN()
+	for _, mode := range []partition.Mode{partition.ForceSpatial, partition.ForceChannel} {
+		opt := Base()
+		opt.Partitioning = mode
+		res, err := Compile(g, arch.Exynos2100Like(), opt)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if err := res.Program.Validate(); err != nil {
+			t.Errorf("%v: %v", mode, err)
+		}
+	}
+}
+
+func TestCompileRejectsInvalidInputs(t *testing.T) {
+	g := graph.New("empty", tensor.Int8)
+	if _, err := Compile(g, arch.Exynos2100Like(), Base()); err == nil {
+		t.Error("empty graph accepted")
+	}
+	g2 := smallCNN()
+	bad := arch.Exynos2100Like()
+	bad.ClockMHz = 0
+	if _, err := Compile(g2, bad, Base()); err == nil {
+		t.Error("invalid arch accepted")
+	}
+}
+
+func TestOptionsNames(t *testing.T) {
+	if Base().Name() != "Base" || Halo().Name() != "+Halo" || Stratum().Name() != "+Stratum" {
+		t.Error("config names wrong")
+	}
+}
+
+func TestTotalTrafficAccounting(t *testing.T) {
+	g := smallCNN()
+	res, err := Compile(g, arch.Exynos2100Like(), Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bytes, macs int64
+	for c := range res.Program.Cores {
+		bytes += res.Program.TotalBytes(c)
+		macs += res.Program.TotalMACs(c)
+	}
+	if bytes <= 0 || macs <= 0 {
+		t.Errorf("bytes=%d macs=%d", bytes, macs)
+	}
+	// Base has no redundancy: total MACs equal the graph's.
+	if macs != g.TotalMACs() {
+		t.Errorf("Base MACs %d != graph %d", macs, g.TotalMACs())
+	}
+}

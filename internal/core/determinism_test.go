@@ -1,0 +1,58 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/models"
+)
+
+// TestCompileDeterministic guards against map-iteration order leaking
+// into the lowered program: two compilations of the same input must be
+// identical instruction for instruction (resumable builds and
+// reproducible experiments depend on it).
+func TestCompileDeterministic(t *testing.T) {
+	g := models.TinyCNN()
+	a := arch.Exynos2100Like()
+	for _, opt := range []Options{Base(), Halo(), Stratum()} {
+		r1, err := Compile(g, a, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Compile(g, a, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r1.Program.Cores, r2.Program.Cores) {
+			t.Errorf("%s: instruction streams differ between identical compiles", opt.Name())
+		}
+		if r1.Program.NumBarriers != r2.Program.NumBarriers {
+			t.Errorf("%s: barrier counts differ", opt.Name())
+		}
+		if !reflect.DeepEqual(r1.Order, r2.Order) {
+			t.Errorf("%s: schedules differ", opt.Name())
+		}
+	}
+}
+
+// TestCompileDeterministicLargeModel repeats the determinism check on
+// a branchy benchmark model, where nondeterminism would be likeliest.
+func TestCompileDeterministicLargeModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full model compile")
+	}
+	g := models.ByNameMust("InceptionV3")
+	a := arch.Exynos2100Like()
+	r1, err := Compile(g, a, Stratum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Compile(g, a, Stratum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Program.Cores, r2.Program.Cores) {
+		t.Error("InceptionV3 compilation is nondeterministic")
+	}
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/plan"
+	"repro/internal/tensor"
+)
+
+// countOps tallies instruction kinds across all cores.
+func countOps(p *plan.Program) map[plan.OpCode]int {
+	m := map[plan.OpCode]int{}
+	for _, stream := range p.Cores {
+		for _, in := range stream {
+			m[in.Op]++
+		}
+	}
+	return m
+}
+
+// convPair builds input -> conv1 -> conv2 (both SAME 3x3, spatial).
+func convPair() *graph.Graph {
+	g := graph.New("pair", tensor.Int8)
+	in := g.Input("input", tensor.NewShape(64, 64, 16))
+	c1 := g.MustAdd("conv1", ops.NewConv2D(3, 3, 1, 1, 16,
+		ops.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), in)
+	g.MustAdd("conv2", ops.NewConv2D(3, 3, 1, 1, 16,
+		ops.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), c1)
+	return g
+}
+
+func TestBaseEmitsStoreBarrierLoad(t *testing.T) {
+	g := convPair()
+	res, err := Compile(g, arch.Exynos2100Like(), Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := countOps(res.Program)
+	if ops[plan.StoreHalo] != 0 || ops[plan.LoadHalo] != 0 {
+		t.Error("Base must not emit halo-exchange")
+	}
+	if ops[plan.Barrier] == 0 {
+		t.Error("Base must synchronize between the convolutions")
+	}
+	// conv1 stores its output, conv2 loads it.
+	var conv1Stores, conv2Loads int
+	for _, stream := range res.Program.Cores {
+		for _, in := range stream {
+			if in.Op == plan.Store && strings.Contains(in.Note, "conv1") {
+				conv1Stores++
+			}
+			if in.Op == plan.LoadInput && strings.Contains(in.Note, "conv2") {
+				conv2Loads++
+			}
+		}
+	}
+	if conv1Stores == 0 || conv2Loads == 0 {
+		t.Errorf("store/load round trip missing: %d stores, %d loads", conv1Stores, conv2Loads)
+	}
+}
+
+func TestHaloEmitsExchangeAndForwards(t *testing.T) {
+	g := convPair()
+	res, err := Compile(g, arch.Exynos2100Like(), Halo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opsCount := countOps(res.Program)
+	if opsCount[plan.StoreHalo] == 0 || opsCount[plan.LoadHalo] == 0 {
+		t.Error("+Halo must emit halo-exchange for the spatial pair")
+	}
+	// conv2's input is forwarded: no LoadInput for conv2 (only the
+	// halo and the kernel).
+	for _, stream := range res.Program.Cores {
+		for _, in := range stream {
+			if in.Op == plan.LoadInput && strings.Contains(in.Note, "conv2") {
+				t.Errorf("forwarded conv2 still loads input: %s", in.Note)
+			}
+		}
+	}
+	// conv1 has no other consumers, so its full store disappears too.
+	for _, stream := range res.Program.Cores {
+		for _, in := range stream {
+			if in.Op == plan.Store && strings.Contains(in.Note, "conv1") {
+				t.Errorf("forwarded conv1 still stores: %s", in.Note)
+			}
+		}
+	}
+}
+
+func TestGraphOutputAlwaysStored(t *testing.T) {
+	g := convPair()
+	for _, opt := range []Options{Base(), Halo(), Stratum()} {
+		res, err := Compile(g, arch.Exynos2100Like(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, stream := range res.Program.Cores {
+			for _, in := range stream {
+				if in.Op == plan.Store && strings.Contains(in.Note, "conv2") {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: graph output conv2 never stored", opt.Name())
+		}
+	}
+}
+
+func TestElementwiseForwardingNeedsNoHaloOrBarrier(t *testing.T) {
+	// conv -> relu: zero halo (elementwise) means pure forwarding with
+	// no exchange and no rendezvous under +Halo.
+	g := graph.New("cr", tensor.Int8)
+	in := g.Input("input", tensor.NewShape(32, 32, 16))
+	c := g.MustAdd("conv", ops.NewConv2D(3, 3, 1, 1, 16,
+		ops.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), in)
+	g.MustAdd("relu", ops.Activation{Func: ops.ReLU}, c)
+
+	res, err := Compile(g, arch.Exynos2100Like(), Halo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opsCount := countOps(res.Program)
+	if opsCount[plan.StoreHalo] != 0 || opsCount[plan.LoadHalo] != 0 {
+		t.Error("elementwise consumer incurred halo-exchange")
+	}
+	if res.Program.NumBarriers != 0 {
+		t.Errorf("elementwise forwarding chain has %d barriers, want 0", res.Program.NumBarriers)
+	}
+}
+
+func TestForwardingFallsBackWhenTensorTooBig(t *testing.T) {
+	// A producer whose per-core output exceeds the forwarding budget:
+	// the edge must fall back to the global round trip.
+	g := graph.New("big", tensor.Int8)
+	in := g.Input("input", tensor.NewShape(512, 512, 16)) // 4 MB feature map
+	c1 := g.MustAdd("conv1", ops.NewConv2D(3, 3, 1, 1, 16,
+		ops.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), in)
+	g.MustAdd("conv2", ops.NewConv2D(3, 3, 1, 1, 16,
+		ops.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), c1)
+
+	res, err := Compile(g, arch.SingleCore(), Halo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := 0
+	for _, in := range res.Program.Cores[0] {
+		if in.Op == plan.LoadInput && strings.Contains(in.Note, "conv2") {
+			loads++
+		}
+	}
+	if loads == 0 {
+		t.Error("oversized forwarding not rejected: conv2 loads nothing")
+	}
+}
+
+func TestKernelLoadedOncePerGroup(t *testing.T) {
+	g := convPair()
+	res, err := Compile(g, arch.Exynos2100Like(), Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spatial tiling without channel pressure: exactly one kernel load
+	// per (layer, core) with work.
+	type key struct {
+		core  int
+		layer graph.LayerID
+	}
+	kernelLoads := map[key]int{}
+	for c, stream := range res.Program.Cores {
+		for _, in := range stream {
+			if in.Op == plan.LoadKernel {
+				kernelLoads[key{c, in.Layer}]++
+			}
+		}
+	}
+	for k, n := range kernelLoads {
+		if n != 1 {
+			t.Errorf("layer %d core %d: %d kernel loads, want 1", k.layer, k.core, n)
+		}
+	}
+	if len(kernelLoads) != 2*res.Program.Arch.NumCores() {
+		t.Errorf("kernel loads on %d (layer,core) pairs, want %d",
+			len(kernelLoads), 2*res.Program.Arch.NumCores())
+	}
+}
+
+func TestInputStationaryReuse(t *testing.T) {
+	// A channel-partitioned dense conv streams kernel slices over a
+	// stationary input: per core there must be exactly one input load
+	// despite multiple kernel groups.
+	g := graph.New("cp", tensor.Int8)
+	in := g.Input("input", tensor.NewShape(8, 8, 64))
+	g.MustAdd("fat", ops.NewConv2D(3, 3, 1, 1, 1024,
+		ops.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), in)
+
+	res, err := Compile(g, arch.Exynos2100Like(), Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plans[1].Direction.String() != "channel" {
+		t.Skipf("direction = %v", res.Plans[1].Direction)
+	}
+	for c, stream := range res.Program.Cores {
+		loads, kernels := 0, 0
+		for _, in := range stream {
+			switch in.Op {
+			case plan.LoadInput:
+				loads++
+			case plan.LoadKernel:
+				kernels++
+			}
+		}
+		if loads > 1 {
+			t.Errorf("core %d: %d input loads; input-stationary reuse missing", c, loads)
+		}
+		if kernels > 0 && loads == 1 && kernels < 2 {
+			t.Logf("core %d: %d kernel groups (ok if SPM roomy)", c, kernels)
+		}
+	}
+}
+
+func TestStratumInteriorHasNoLoadsOrStores(t *testing.T) {
+	g := graph.New("chain", tensor.Int8)
+	prev := g.Input("input", tensor.NewShape(48, 48, 8))
+	for i := 0; i < 4; i++ {
+		prev = g.MustAdd("conv"+string(rune('a'+i)),
+			ops.NewConv2D(3, 3, 1, 1, 8, ops.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), prev)
+	}
+	res, err := Compile(g, arch.Exynos2100Like(), Stratum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var interior []graph.LayerID
+	for _, s := range res.Strata {
+		if s.Len() > 2 {
+			interior = s.Layers[1 : s.Len()-1]
+		}
+	}
+	if len(interior) == 0 {
+		t.Skip("no stratum interior formed")
+	}
+	inSet := map[graph.LayerID]bool{}
+	for _, id := range interior {
+		inSet[id] = true
+	}
+	for _, stream := range res.Program.Cores {
+		for _, in := range stream {
+			if !inSet[in.Layer] {
+				continue
+			}
+			switch in.Op {
+			case plan.LoadInput, plan.Store, plan.StoreHalo, plan.LoadHalo:
+				t.Errorf("stratum-interior layer %d has %v (%s)", in.Layer, in.Op, in.Note)
+			}
+		}
+	}
+}
+
+func TestHaloSendPlacedBeforeLastTileStoreWithHaloFirst(t *testing.T) {
+	// With halo-first, the halo send must appear in the store stream
+	// before some later tile's work (i.e., not as the very last store
+	// engine item of the layer) for the middle core.
+	g := convPair()
+	res, err := Compile(g, arch.Exynos2100Like(), Halo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := res.Program.Cores[1] // middle core: halo on both sides
+	sendPos, lastComputePos := -1, -1
+	for i, in := range stream {
+		if in.Op == plan.StoreHalo && strings.Contains(in.Note, "conv1") {
+			sendPos = i
+		}
+		if in.Op == plan.Compute && strings.Contains(in.Note, "conv1") {
+			lastComputePos = i
+		}
+	}
+	if sendPos < 0 {
+		t.Skip("no halo send on middle core")
+	}
+	if sendPos > lastComputePos {
+		t.Errorf("halo send at %d after the last conv1 compute at %d; halo-first not effective",
+			sendPos, lastComputePos)
+	}
+}

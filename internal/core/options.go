@@ -1,0 +1,135 @@
+// Package core is the multicore-NPU compiler: the paper's primary
+// contribution. It orchestrates layer partitioning (heuristics h1–h5),
+// layer scheduling (Algorithm 1), stratum construction (Algorithm 2,
+// heuristics h6–h8), and tiling with the halo-first policy, and lowers
+// the result to per-core instruction streams (package plan) that the
+// discrete-event simulator (package sim) executes.
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/plan"
+	"repro/internal/stratum"
+)
+
+// Scheduling selects the layer-ordering strategy (Figure 6 contrasts
+// depth-first and breadth-first; Algorithm 1 mixes them by partition
+// direction).
+type Scheduling int
+
+// Layer scheduling strategies.
+const (
+	// ScheduleAlgorithm1 follows the successor after spatially
+	// partitioned layers and a sibling otherwise (the paper's
+	// scheduler).
+	ScheduleAlgorithm1 Scheduling = iota
+	// ScheduleDepthFirst always follows a ready successor
+	// (Figure 6(a): maximal data reuse).
+	ScheduleDepthFirst
+	// ScheduleBreadthFirst visits layers level by level (Figure 6(b):
+	// longest spans between dependencies).
+	ScheduleBreadthFirst
+)
+
+// String returns the strategy name.
+func (s Scheduling) String() string {
+	switch s {
+	case ScheduleAlgorithm1:
+		return "algorithm1"
+	case ScheduleDepthFirst:
+		return "depth-first"
+	case ScheduleBreadthFirst:
+		return "breadth-first"
+	default:
+		return "Scheduling(?)"
+	}
+}
+
+// Options selects the optimization configuration (Table 3), plus
+// fine-grained toggles the Figure 12 experiment isolates.
+type Options struct {
+	// Partitioning selects adaptive (h1–h5) or a forced direction
+	// (Table 4 compares the three).
+	Partitioning partition.Mode
+	// Scheduling selects the layer execution order strategy.
+	Scheduling Scheduling
+	// HaloExchange exchanges borderline data between cores through the
+	// halo-exchange interface instead of a full store-sync-load round
+	// trip, removing the barrier from compatible adjacent layer pairs.
+	HaloExchange bool
+	// HaloFirst schedules halo-producing tiles before interior tiles
+	// so the exchange overlaps with remaining computation.
+	HaloFirst bool
+	// Forwarding keeps a producer's output in SPM for the immediately
+	// following consumer (feature-map forwarding), removing the local
+	// store/load round trip as well.
+	Forwarding bool
+	// Stratum builds strata (Algorithm 2): synchronization-free chains
+	// at the cost of redundant halo computation.
+	Stratum bool
+	// NoDoubleBuffer disables the double-buffered software pipeline
+	// within each core: a tile's load then waits for the previous
+	// tile's compute (single input buffer) and its compute for the
+	// previous store (single output buffer). Exists to quantify the
+	// pipelining benefit of Section 2.2 (ablation A10).
+	NoDoubleBuffer bool
+	// WeightScale optionally multiplies each core's partitioning
+	// weight; the profile-guided rebalancing loop (package autotune)
+	// feeds measured utilization back through it. Nil means unit
+	// scales.
+	WeightScale []float64
+}
+
+// Base returns the paper's Base configuration: adaptive partitioning
+// and pipelined tiling, but every layer boundary goes through
+// store-sync-load.
+func Base() Options {
+	return Options{Partitioning: partition.Adaptive}
+}
+
+// Halo returns the +Halo configuration: Base plus halo-exchange,
+// halo-first tile order, and feature-map forwarding.
+func Halo() Options {
+	return Options{
+		Partitioning: partition.Adaptive,
+		HaloExchange: true,
+		HaloFirst:    true,
+		Forwarding:   true,
+	}
+}
+
+// Stratum returns the +Stratum configuration: Halo plus stratum
+// construction.
+func Stratum() Options {
+	o := Halo()
+	o.Stratum = true
+	return o
+}
+
+// Name returns the Table 3 label of the configuration.
+func (o Options) Name() string {
+	switch {
+	case o.Stratum:
+		return "+Stratum"
+	case o.HaloExchange:
+		return "+Halo"
+	default:
+		return "Base"
+	}
+}
+
+// Result is the outcome of compilation.
+type Result struct {
+	// Program is the lowered, simulatable schedule.
+	Program *plan.Program
+	// Plans holds each layer's partitioning decision, by LayerID.
+	Plans []partition.Plan
+	// Order is the layer execution schedule (Algorithm 1).
+	Order []graph.LayerID
+	// Strata is the stratum decomposition actually lowered (singletons
+	// when stratum construction is disabled or declined).
+	Strata []stratum.Stratum
+	// RedundantMACs is the extra compute stratum construction added.
+	RedundantMACs int64
+}

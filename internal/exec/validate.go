@@ -1,0 +1,202 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/stratum"
+	"repro/internal/tensor"
+	"repro/internal/tiling"
+)
+
+// RunReference executes the whole graph over deterministic inputs and
+// returns every layer's full output tensor.
+func RunReference(g *graph.Graph) (map[graph.LayerID]*Tensor, error) {
+	tensors := make(map[graph.LayerID]*Tensor, g.Len())
+	for _, l := range g.Layers() {
+		if l.IsInput() {
+			t := NewTensor(l.OutShape)
+			t.Fill(0xBEEF + uint64(l.ID))
+			tensors[l.ID] = t
+			continue
+		}
+		ins := make([]*View, len(l.Inputs))
+		for j, pid := range l.Inputs {
+			ins[j] = WholeView(tensors[pid])
+		}
+		v, err := Apply(l.Op, tensor.WholeRegion(l.OutShape), ins, g.InShapes(l), WeightsFor(l.ID))
+		if err != nil {
+			return nil, fmt.Errorf("exec: layer %s: %w", l.Name, err)
+		}
+		t := NewTensor(l.OutShape)
+		v.CopyInto(t)
+		tensors[l.ID] = t
+	}
+	return tensors, nil
+}
+
+// guard converts an out-of-view panic into an error tagged with ctx.
+func guard(ctx string, f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%s: %v", ctx, r)
+		}
+	}()
+	return f()
+}
+
+// ValidatePartitioned recomputes every layer from the partition plans'
+// per-core regions — each core sees only the input slices the plan
+// granted it — and compares the stitched result bit-exactly against
+// the reference. A failure means the compiler's partition or halo
+// arithmetic is wrong.
+func ValidatePartitioned(g *graph.Graph, plans []partition.Plan, ref map[graph.LayerID]*Tensor) error {
+	for _, l := range g.Layers() {
+		if l.IsInput() {
+			continue
+		}
+		stitched := NewTensor(l.OutShape)
+		inShapes := g.InShapes(l)
+		for _, sub := range plans[l.ID].Subs {
+			if sub.Empty() {
+				continue
+			}
+			sub := sub
+			err := guard(fmt.Sprintf("layer %s core %d", l.Name, sub.Core), func() error {
+				ins := make([]*View, len(l.Inputs))
+				for j, pid := range l.Inputs {
+					ins[j] = ViewOf(ref[pid], sub.In[j])
+				}
+				v, err := Apply(l.Op, sub.Out, ins, inShapes, WeightsFor(l.ID))
+				if err != nil {
+					return err
+				}
+				v.CopyInto(stitched)
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+		if !stitched.Equal(ref[l.ID]) {
+			return fmt.Errorf("exec: layer %s: partitioned result differs from reference", l.Name)
+		}
+	}
+	return nil
+}
+
+// ValidateTiled recomputes every layer tile by tile using the tiler's
+// plans (as the per-core pipeline would) and compares against the
+// reference.
+func ValidateTiled(g *graph.Graph, plans []partition.Plan, tiler *tiling.Tiler, ref map[graph.LayerID]*Tensor) error {
+	for _, l := range g.Layers() {
+		if l.IsInput() {
+			continue
+		}
+		stitched := NewTensor(l.OutShape)
+		inShapes := g.InShapes(l)
+		for core, sub := range plans[l.ID].Subs {
+			if sub.Empty() {
+				continue
+			}
+			tp, err := tiler.PlanSubLayer(l, inShapes, sub, core, tiling.Options{Direction: plans[l.ID].Direction})
+			if err != nil {
+				return fmt.Errorf("exec: layer %s core %d: %w", l.Name, core, err)
+			}
+			for _, tile := range tp.Tiles {
+				tile := tile
+				err := guard(fmt.Sprintf("layer %s core %d tile %d", l.Name, core, tile.Index), func() error {
+					ins := make([]*View, len(l.Inputs))
+					for j, pid := range l.Inputs {
+						ins[j] = ViewOf(ref[pid], tile.In[j])
+					}
+					v, err := Apply(l.Op, tile.Out, ins, inShapes, WeightsFor(l.ID))
+					if err != nil {
+						return err
+					}
+					v.CopyInto(stitched)
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+			}
+		}
+		if !stitched.Equal(ref[l.ID]) {
+			return fmt.Errorf("exec: layer %s: tiled result differs from reference", l.Name)
+		}
+	}
+	return nil
+}
+
+// ValidateStrata executes every stratum the way the NPU would: each
+// core loads only the halo-expanded input of the stratum's top layer,
+// then forwards locally through the chain with no external data. The
+// planned portion of every layer is stitched and compared against the
+// reference — proving the expanded regions carry sufficient halo for
+// synchronization-free execution.
+func ValidateStrata(g *graph.Graph, plans []partition.Plan, strata []stratum.Stratum, ref map[graph.LayerID]*Tensor) error {
+	for si, s := range strata {
+		stitched := make(map[graph.LayerID]*Tensor, len(s.Layers))
+		for _, id := range s.Layers {
+			stitched[id] = NewTensor(g.Layer(id).OutShape)
+		}
+		ncores := 0
+		if len(s.Layers) > 0 {
+			ncores = len(s.Expanded[s.Layers[0]])
+		}
+		for core := 0; core < ncores; core++ {
+			var prev *View
+			var prevID graph.LayerID = -1
+			for li, id := range s.Layers {
+				l := g.Layer(id)
+				exp := s.Expanded[id][core]
+				if exp.Empty() {
+					prev, prevID = nil, -1
+					continue
+				}
+				inShapes := g.InShapes(l)
+				ins := make([]*View, len(l.Inputs))
+				for j, pid := range l.Inputs {
+					need := l.Op.InputRegion(exp, j, inShapes)
+					if li > 0 && pid == prevID && prev != nil {
+						// Feature-map forwarding inside the stratum:
+						// only locally computed data is available.
+						ins[j] = prev
+					} else {
+						ins[j] = ViewOf(ref[pid], need)
+					}
+				}
+				var v *View
+				err := guard(fmt.Sprintf("stratum %d layer %s core %d", si, l.Name, core), func() error {
+					var err error
+					v, err = Apply(l.Op, exp, ins, inShapes, WeightsFor(id))
+					return err
+				})
+				if err != nil {
+					return err
+				}
+				// Stitch only the planned (owned) portion.
+				planned := plans[id].Subs[core].Out
+				if !planned.Empty() {
+					copyRegion(stitched[id], v, planned)
+				}
+				prev, prevID = v, id
+			}
+		}
+		for _, id := range s.Layers {
+			if !stitched[id].Equal(ref[id]) {
+				return fmt.Errorf("exec: stratum %d layer %s: forwarded result differs from reference", si, g.Layer(id).Name)
+			}
+		}
+	}
+	return nil
+}
+
+// copyRegion copies region r of src (a view that contains r) into dst.
+func copyRegion(dst *Tensor, src *View, r tensor.Region) {
+	forEach(r, func(h, w, c int) {
+		dst.Set(h, w, c, src.At(h, w, c))
+	})
+}

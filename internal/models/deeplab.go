@@ -1,0 +1,98 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// DeepLabV3Plus builds DeepLabV3+ semantic segmentation (513x513x3,
+// INT16 — the one INT16 model in Table 2): a MobileNetV2 backbone at
+// output stride 16 (the final stride-2 stage runs at stride 1 with
+// atrous rate 2), the ASPP module with three dilated branches and
+// image-level pooling, and the decoder that fuses a low-level feature
+// before the final upsampling.
+func DeepLabV3Plus() *graph.Graph {
+	b := newBuilder("DeepLabV3+", tensor.Int16)
+	in := b.input(tensor.NewShape(513, 513, 3))
+
+	// Backbone: MobileNetV2 with the 160-channel group dilated.
+	x := b.conv("conv1", in, 3, 2, 32) // 257x257
+	var lowLevel graph.LayerID
+	blk := 0
+	for si, spec := range mobileNetV2Specs {
+		for r := 0; r < spec.n; r++ {
+			stride := spec.s
+			if r > 0 {
+				stride = 1
+			}
+			dilated := si >= 5 // output stride 16: stop downsampling
+			if dilated && stride == 2 {
+				stride = 1
+			}
+			name := fmt.Sprintf("block%d", blk)
+			inC := b.shape(x).C
+			y := x
+			if spec.t != 1 {
+				y = b.conv(name+"_expand", y, 1, 1, inC*spec.t)
+			}
+			if dilated {
+				y = b.dwconvDilated(name+"_dw", y, 3, 2)
+			} else {
+				y = b.dwconv(name+"_dw", y, 3, stride)
+			}
+			y = b.convLinear(name+"_project", y, 1, 1, spec.c)
+			if stride == 1 && inC == spec.c {
+				y = b.add(name+"_add", x, y)
+			}
+			x = y
+			if blk == 2 {
+				lowLevel = x // 129x129x24 low-level feature
+			}
+			blk++
+		}
+	}
+	// x: 33x33x320 at output stride 16.
+
+	// ASPP: 1x1, three atrous 3x3 branches, and image pooling.
+	a1 := b.conv("aspp_1x1", x, 1, 1, 256)
+	var branches []graph.LayerID
+	branches = append(branches, a1)
+	for _, rate := range []int{6, 12, 18} {
+		name := fmt.Sprintf("aspp_r%d", rate)
+		s := b.shape(x)
+		c := b.g.MustAdd(name, ops.Conv2D{
+			KH: 3, KW: 3, StrideH: 1, StrideW: 1, DilH: rate, DilW: rate,
+			Pad:  ops.SamePad(s, 3, 3, 1, 1, rate, rate),
+			OutC: 256,
+		}, x)
+		branches = append(branches, b.g.MustAdd(name+"_relu", ops.Activation{Func: ops.ReLU}, c))
+	}
+	ip := b.g.MustAdd("aspp_pool", ops.GlobalAvgPool{}, x)
+	ip = b.conv("aspp_pool_1x1", ip, 1, 1, 256)
+	ip = b.g.MustAdd("aspp_pool_up", ops.Resize{ScaleH: 33, ScaleW: 33, Mode: ops.Bilinear}, ip)
+	branches = append(branches, ip)
+
+	aspp := b.concat("aspp_concat", branches...)
+	aspp = b.conv("aspp_project", aspp, 1, 1, 256)
+
+	// Decoder: upsample x4 (33 -> 132, cropped to 129), fuse the
+	// low-level feature, refine with separable convolutions.
+	up := b.g.MustAdd("decoder_up", ops.Resize{ScaleH: 4, ScaleW: 4, Mode: ops.Bilinear}, aspp)
+	up = b.g.MustAdd("decoder_up_crop", ops.Crop{Bottom: 3, Right: 3}, up) // 129x129
+
+	ll := b.conv("decoder_lowlevel", lowLevel, 1, 1, 48)
+	dec := b.concat("decoder_concat", up, ll)
+	dec = b.dwconv("decoder_sep1_dw", dec, 3, 1)
+	dec = b.conv("decoder_sep1_pw", dec, 1, 1, 256)
+	dec = b.dwconv("decoder_sep2_dw", dec, 3, 1)
+	dec = b.conv("decoder_sep2_pw", dec, 1, 1, 256)
+
+	logits := b.convLinear("logits", dec, 1, 1, 21) // PASCAL VOC classes
+	out := b.g.MustAdd("logits_up", ops.Resize{ScaleH: 4, ScaleW: 4, Mode: ops.Bilinear}, logits)
+	out = b.g.MustAdd("logits_crop", ops.Crop{Bottom: 3, Right: 3}, out) // 513x513
+	b.g.MustAdd("softmax", ops.Softmax{}, out)
+	return b.g
+}

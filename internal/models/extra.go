@@ -1,0 +1,93 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// Extra returns additional well-known networks beyond the paper's
+// Table 2, for broader compiler coverage: residual-heavy (ResNet-50)
+// and dense-convolution-heavy (VGG-16) topologies.
+func Extra() []Info {
+	return []Info{
+		{Name: "ResNet50", Category: "Classification", Input: tensor.NewShape(224, 224, 3), DType: tensor.Int8, Build: ResNet50},
+		{Name: "VGG16", Category: "Classification", Input: tensor.NewShape(224, 224, 3), DType: tensor.Int8, Build: VGG16},
+		{Name: "ShuffleNetV2", Category: "Classification", Input: tensor.NewShape(224, 224, 3), DType: tensor.Int8, Build: ShuffleNetV2},
+	}
+}
+
+// bottleneck appends one ResNet bottleneck block (1x1 reduce, 3x3,
+// 1x1 expand) with an identity or projection shortcut.
+func bottleneck(b *builder, name string, in graph.LayerID, mid, out, stride int) graph.LayerID {
+	inC := b.shape(in).C
+	x := b.conv(name+"_reduce", in, 1, stride, mid)
+	x = b.conv(name+"_3x3", x, 3, 1, mid)
+	x = b.convLinear(name+"_expand", x, 1, 1, out)
+
+	shortcut := in
+	if stride != 1 || inC != out {
+		shortcut = b.convLinear(name+"_proj", in, 1, stride, out)
+	}
+	sum := b.add(name+"_add", shortcut, x)
+	return b.g.MustAdd(name+"_relu", ops.Activation{Func: ops.ReLU}, sum)
+}
+
+// ResNet50 builds the He et al. classifier (224x224x3): a 7x7 stem,
+// four bottleneck stages of depth 3/4/6/3, and the classifier head.
+func ResNet50() *graph.Graph {
+	b := newBuilder("ResNet50", tensor.Int8)
+	in := b.input(tensor.NewShape(224, 224, 3))
+
+	x := b.conv("conv1", in, 7, 2, 64)  // 112x112x64
+	x = b.maxpoolSame("pool1", x, 3, 2) // 56x56x64
+
+	stages := []struct {
+		blocks, mid, out, stride int
+	}{
+		{3, 64, 256, 1},
+		{4, 128, 512, 2},
+		{6, 256, 1024, 2},
+		{3, 512, 2048, 2},
+	}
+	for si, st := range stages {
+		for bi := 0; bi < st.blocks; bi++ {
+			stride := 1
+			if bi == 0 {
+				stride = st.stride
+			}
+			x = bottleneck(b, fmt.Sprintf("res%d_%d", si+2, bi), x, st.mid, st.out, stride)
+		}
+	}
+	b.classifierHead(x, 1000) // 7x7x2048 -> gap -> fc -> softmax
+	return b.g
+}
+
+// VGG16 builds the Simonyan & Zisserman classifier (224x224x3) with
+// the dense-classifier layers expressed as valid convolutions (7x7
+// conv to 4096 instead of a flatten; identical arithmetic).
+func VGG16() *graph.Graph {
+	b := newBuilder("VGG16", tensor.Int8)
+	in := b.input(tensor.NewShape(224, 224, 3))
+
+	x := in
+	cfg := []struct {
+		convs, c int
+	}{
+		{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512},
+	}
+	for si, st := range cfg {
+		for ci := 0; ci < st.convs; ci++ {
+			x = b.conv(fmt.Sprintf("conv%d_%d", si+1, ci+1), x, 3, 1, st.c)
+		}
+		x = b.maxpool(fmt.Sprintf("pool%d", si+1), x, 2, 2)
+	}
+	// Classifier: 7x7x512 -> fc6 (as a VALID 7x7 conv) -> fc7 -> fc8.
+	x = b.convValid("fc6", x, 7, 1, 4096)
+	x = b.convValid("fc7", x, 1, 1, 4096)
+	logits := b.convLinear("fc8", x, 1, 1, 1000)
+	b.g.MustAdd("softmax", ops.Softmax{}, logits)
+	return b.g
+}

@@ -1,0 +1,156 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// InceptionV3 builds the Szegedy et al. InceptionV3 classifier
+// (299x299x3, INT8): the convolutional stem, three 35x35 Inception-A
+// blocks, a grid reduction, four 17x17 Inception-C blocks with 1x7/7x1
+// factorized convolutions, a second reduction, two 8x8 Inception-E
+// blocks, and the classifier head.
+func InceptionV3() *graph.Graph {
+	b := newBuilder("InceptionV3", tensor.Int8)
+	in := b.input(tensor.NewShape(299, 299, 3))
+
+	// Stem: 299 -> 149 -> 147 -> 147 -> 73 -> 71 -> 35.
+	x := b.convValid("stem_conv1", in, 3, 2, 32) // 149x149x32
+	x = b.convValid("stem_conv2", x, 3, 1, 32)   // 147x147x32
+	x = b.conv("stem_conv3", x, 3, 1, 64)        // 147x147x64
+	x = b.maxpool("stem_pool1", x, 3, 2)         // 73x73x64
+	x = b.convValid("stem_conv4", x, 1, 1, 80)   // 73x73x80
+	x = b.convValid("stem_conv5", x, 3, 1, 192)  // 71x71x192
+	x = b.maxpool("stem_pool2", x, 3, 2)         // 35x35x192
+
+	// Three Inception-A blocks at 35x35.
+	for i, poolC := range []int{32, 64, 64} {
+		x = inceptionA(b, fmt.Sprintf("mixedA%d", i), x, poolC)
+	}
+
+	// Grid reduction 35 -> 17.
+	x = inceptionB(b, "reductionA", x)
+
+	// Four Inception-C blocks at 17x17 with growing 7x7 channels.
+	for i, c7 := range []int{128, 160, 160, 192} {
+		x = inceptionC(b, fmt.Sprintf("mixedC%d", i), x, c7)
+	}
+
+	// Grid reduction 17 -> 8.
+	x = inceptionD(b, "reductionB", x)
+
+	// Two Inception-E blocks at 8x8.
+	for i := 0; i < 2; i++ {
+		x = inceptionE(b, fmt.Sprintf("mixedE%d", i), x)
+	}
+
+	b.classifierHead(x, 1000)
+	return b.g
+}
+
+// inceptionA is the 35x35 block: 1x1, 5x5, double-3x3, and pool
+// branches concatenated.
+func inceptionA(b *builder, name string, in graph.LayerID, poolC int) graph.LayerID {
+	br1 := b.conv(name+"_b1_1x1", in, 1, 1, 64)
+
+	br2 := b.conv(name+"_b2_1x1", in, 1, 1, 48)
+	br2 = b.conv(name+"_b2_5x5", br2, 5, 1, 64)
+
+	br3 := b.conv(name+"_b3_1x1", in, 1, 1, 64)
+	br3 = b.conv(name+"_b3_3x3a", br3, 3, 1, 96)
+	br3 = b.conv(name+"_b3_3x3b", br3, 3, 1, 96)
+
+	br4 := b.avgpoolSame(name+"_b4_pool", in, 3, 1)
+	br4 = b.conv(name+"_b4_1x1", br4, 1, 1, poolC)
+
+	return b.concat(name+"_concat", br1, br2, br3, br4)
+}
+
+// inceptionB is the 35->17 grid reduction.
+func inceptionB(b *builder, name string, in graph.LayerID) graph.LayerID {
+	br1 := b.convValid(name+"_b1_3x3", in, 3, 2, 384)
+
+	br2 := b.conv(name+"_b2_1x1", in, 1, 1, 64)
+	br2 = b.conv(name+"_b2_3x3a", br2, 3, 1, 96)
+	br2 = b.convValid(name+"_b2_3x3b", br2, 3, 2, 96)
+
+	br3 := b.maxpool(name+"_b3_pool", in, 3, 2)
+
+	return b.concat(name+"_concat", br1, br2, br3)
+}
+
+// inceptionC is the 17x17 block with factorized 7x7 convolutions.
+func inceptionC(b *builder, name string, in graph.LayerID, c7 int) graph.LayerID {
+	br1 := b.conv(name+"_b1_1x1", in, 1, 1, 192)
+
+	br2 := b.conv(name+"_b2_1x1", in, 1, 1, c7)
+	br2 = b.convRect(name+"_b2_1x7", br2, 1, 7, c7)
+	br2 = b.convRect(name+"_b2_7x1", br2, 7, 1, 192)
+
+	br3 := b.conv(name+"_b3_1x1", in, 1, 1, c7)
+	br3 = b.convRect(name+"_b3_7x1a", br3, 7, 1, c7)
+	br3 = b.convRect(name+"_b3_1x7a", br3, 1, 7, c7)
+	br3 = b.convRect(name+"_b3_7x1b", br3, 7, 1, c7)
+	br3 = b.convRect(name+"_b3_1x7b", br3, 1, 7, 192)
+
+	br4 := b.avgpoolSame(name+"_b4_pool", in, 3, 1)
+	br4 = b.conv(name+"_b4_1x1", br4, 1, 1, 192)
+
+	return b.concat(name+"_concat", br1, br2, br3, br4)
+}
+
+// inceptionD is the 17->8 grid reduction.
+func inceptionD(b *builder, name string, in graph.LayerID) graph.LayerID {
+	br1 := b.conv(name+"_b1_1x1", in, 1, 1, 192)
+	br1 = b.convValid(name+"_b1_3x3", br1, 3, 2, 320)
+
+	br2 := b.conv(name+"_b2_1x1", in, 1, 1, 192)
+	br2 = b.convRect(name+"_b2_1x7", br2, 1, 7, 192)
+	br2 = b.convRect(name+"_b2_7x1", br2, 7, 1, 192)
+	br2 = b.convValid(name+"_b2_3x3", br2, 3, 2, 192)
+
+	br3 := b.maxpool(name+"_b3_pool", in, 3, 2)
+
+	return b.concat(name+"_concat", br1, br2, br3)
+}
+
+// inceptionE is the 8x8 block with split 1x3/3x1 branches.
+func inceptionE(b *builder, name string, in graph.LayerID) graph.LayerID {
+	br1 := b.conv(name+"_b1_1x1", in, 1, 1, 320)
+
+	br2 := b.conv(name+"_b2_1x1", in, 1, 1, 384)
+	br2a := b.convRect(name+"_b2_1x3", br2, 1, 3, 384)
+	br2b := b.convRect(name+"_b2_3x1", br2, 3, 1, 384)
+	br2c := b.concat(name+"_b2_concat", br2a, br2b)
+
+	br3 := b.conv(name+"_b3_1x1", in, 1, 1, 448)
+	br3 = b.conv(name+"_b3_3x3", br3, 3, 1, 384)
+	br3a := b.convRect(name+"_b3_1x3", br3, 1, 3, 384)
+	br3b := b.convRect(name+"_b3_3x1", br3, 3, 1, 384)
+	br3c := b.concat(name+"_b3_concat", br3a, br3b)
+
+	br4 := b.avgpoolSame(name+"_b4_pool", in, 3, 1)
+	br4 = b.conv(name+"_b4_1x1", br4, 1, 1, 192)
+
+	return b.concat(name+"_concat", br1, br2c, br3c, br4)
+}
+
+// InceptionV3Stem builds only the stem region of InceptionV3 (the
+// workload of the paper's Table 5 and Figure 12 experiments).
+func InceptionV3Stem() *graph.Graph {
+	full := InceptionV3()
+	// The stem is everything up to and including stem_pool2: locate it.
+	n := 0
+	for i, l := range full.Layers() {
+		if l.Name == "stem_pool2" {
+			n = i + 1
+		}
+	}
+	sub, err := full.Subgraph("InceptionV3-stem", n)
+	if err != nil {
+		panic(err)
+	}
+	return sub
+}

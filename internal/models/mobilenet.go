@@ -1,0 +1,73 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// invertedResidualSpec is one (t, c, n, s) row of the MobileNetV2
+// architecture table: expansion factor, output channels, repeats, and
+// first-repeat stride.
+type invertedResidualSpec struct {
+	t, c, n, s int
+}
+
+// mobileNetV2Specs is the published MobileNetV2 body.
+var mobileNetV2Specs = []invertedResidualSpec{
+	{1, 16, 1, 1},
+	{6, 24, 2, 2},
+	{6, 32, 3, 2},
+	{6, 64, 4, 2},
+	{6, 96, 3, 1},
+	{6, 160, 3, 2},
+	{6, 320, 1, 1},
+}
+
+// invertedResidual appends one MobileNetV2 block: 1x1 expansion,
+// 3x3 depthwise, 1x1 linear projection, with a residual add when the
+// geometry allows.
+func invertedResidual(b *builder, name string, in graph.LayerID, t, outC, stride int) graph.LayerID {
+	inC := b.shape(in).C
+	x := in
+	if t != 1 {
+		x = b.conv(name+"_expand", x, 1, 1, inC*t)
+	}
+	x = b.dwconv(name+"_dw", x, 3, stride)
+	x = b.convLinear(name+"_project", x, 1, 1, outC)
+	if stride == 1 && inC == outC {
+		x = b.add(name+"_add", in, x)
+	}
+	return x
+}
+
+// mobileNetV2Body builds the MobileNetV2 feature extractor up to the
+// final 320-channel block and returns the taps used by SSD heads:
+// the expanded 19x19 feature (block 13 expansion) and the final
+// feature map.
+func mobileNetV2Body(b *builder, in graph.LayerID) (final graph.LayerID) {
+	x := b.conv("conv1", in, 3, 2, 32)
+	blk := 0
+	for _, spec := range mobileNetV2Specs {
+		for r := 0; r < spec.n; r++ {
+			stride := spec.s
+			if r > 0 {
+				stride = 1
+			}
+			x = invertedResidual(b, fmt.Sprintf("block%d", blk), x, spec.t, spec.c, stride)
+			blk++
+		}
+	}
+	return x
+}
+
+// MobileNetV2 builds the Sandler et al. classifier (224x224x3, INT8).
+func MobileNetV2() *graph.Graph {
+	b := newBuilder("MobileNetV2", tensor.Int8)
+	in := b.input(tensor.NewShape(224, 224, 3))
+	x := mobileNetV2Body(b, in)
+	x = b.conv("conv_last", x, 1, 1, 1280)
+	b.classifierHead(x, 1000)
+	return b.g
+}

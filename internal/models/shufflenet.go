@@ -1,0 +1,74 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// shuffleUnit appends one ShuffleNetV2 basic unit (stride 1): split
+// channels in half, transform the right half with a 1x1 -> dw3x3 ->
+// 1x1 sandwich, concatenate, and shuffle.
+func shuffleUnit(b *builder, name string, in graph.LayerID) graph.LayerID {
+	c := b.shape(in).C
+	half := c / 2
+	left := b.g.MustAdd(name+"_left", ops.ChannelSlice{From: 0, To: half}, in)
+	right := b.g.MustAdd(name+"_right", ops.ChannelSlice{From: half, To: c}, in)
+
+	x := b.conv(name+"_pw1", right, 1, 1, half)
+	x = b.g.MustAdd(name+"_dw", ops.NewDepthwiseConv2D(3, 3, 1, 1,
+		ops.SamePad(b.shape(x), 3, 3, 1, 1, 1, 1)), x)
+	x = b.conv(name+"_pw2", x, 1, 1, half)
+
+	cat := b.concat(name+"_concat", left, x)
+	return b.g.MustAdd(name+"_shuffle", ops.ChannelShuffle{Groups: 2}, cat)
+}
+
+// shuffleDownUnit appends one ShuffleNetV2 downsampling unit (stride
+// 2): both branches process the full input and their concatenation
+// doubles the channels.
+func shuffleDownUnit(b *builder, name string, in graph.LayerID, outC int) graph.LayerID {
+	half := outC / 2
+	s := b.shape(in)
+
+	left := b.g.MustAdd(name+"_ldw", ops.NewDepthwiseConv2D(3, 3, 2, 2,
+		ops.SamePad(s, 3, 3, 2, 2, 1, 1)), in)
+	left = b.conv(name+"_lpw", left, 1, 1, half)
+
+	right := b.conv(name+"_rpw1", in, 1, 1, half)
+	right = b.g.MustAdd(name+"_rdw", ops.NewDepthwiseConv2D(3, 3, 2, 2,
+		ops.SamePad(b.shape(right), 3, 3, 2, 2, 1, 1)), right)
+	right = b.conv(name+"_rpw2", right, 1, 1, half)
+
+	cat := b.concat(name+"_concat", left, right)
+	return b.g.MustAdd(name+"_shuffle", ops.ChannelShuffle{Groups: 2}, cat)
+}
+
+// ShuffleNetV2 builds the Ma et al. x1.0 classifier (224x224x3): a
+// 24-channel stem, three stages of shuffle units (116/232/464
+// channels), a 1024-channel head convolution, and the classifier. It
+// exercises the channel-slice and channel-shuffle operators.
+func ShuffleNetV2() *graph.Graph {
+	b := newBuilder("ShuffleNetV2", tensor.Int8)
+	in := b.input(tensor.NewShape(224, 224, 3))
+
+	x := b.conv("conv1", in, 3, 2, 24)  // 112x112x24
+	x = b.maxpoolSame("pool1", x, 3, 2) // 56x56x24
+
+	stages := []struct {
+		units, c int
+	}{
+		{4, 116}, {8, 232}, {4, 464},
+	}
+	for si, st := range stages {
+		x = shuffleDownUnit(b, fmt.Sprintf("stage%d_down", si+2), x, st.c)
+		for u := 1; u < st.units; u++ {
+			x = shuffleUnit(b, fmt.Sprintf("stage%d_u%d", si+2, u), x)
+		}
+	}
+	x = b.conv("conv5", x, 1, 1, 1024)
+	b.classifierHead(x, 1000)
+	return b.g
+}

@@ -1,0 +1,39 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// TinyCNN builds a small classifier used by examples and tests:
+// two conv/pool stages, a depthwise-separable residual block, and a
+// classifier head. It compiles and simulates in milliseconds.
+func TinyCNN() *graph.Graph {
+	b := newBuilder("TinyCNN", tensor.Int8)
+	in := b.input(tensor.NewShape(64, 64, 3))
+	x := b.conv("conv1", in, 3, 2, 16)
+	x = b.conv("conv2", x, 3, 1, 32)
+	x = b.maxpool("pool1", x, 2, 2)
+	res := x
+	x = b.dwconv("dw1", x, 3, 1)
+	x = b.convLinear("pw1", x, 1, 1, 32)
+	x = b.add("add1", res, x)
+	x = b.maxpool("pool2", x, 2, 2)
+	b.classifierHead(x, 10)
+	return b.g
+}
+
+// ConvChain builds a chain of depth SAME 3x3 convolutions over an
+// hxwxc input — the canonical stratum-construction workload.
+func ConvChain(depth, h, w, c int) *graph.Graph {
+	b := newBuilder(fmt.Sprintf("ConvChain%d", depth), tensor.Int8)
+	x := b.input(tensor.NewShape(h, w, c))
+	for i := 0; i < depth; i++ {
+		x = b.g.MustAdd(fmt.Sprintf("conv%d", i),
+			ops.NewConv2D(3, 3, 1, 1, c, ops.SamePad(tensor.NewShape(h, w, c), 3, 3, 1, 1, 1, 1)), x)
+	}
+	return b.g
+}

@@ -1,0 +1,177 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// ssdHead appends an SSDLite prediction head (depthwise-separable
+// class and box convolutions) to one feature map. The per-scale
+// outputs are graph outputs; post-processing (anchor decoding, NMS)
+// runs on the CPU and is outside the NPU workload.
+func ssdHead(b *builder, name string, in graph.LayerID, anchors, classes int) {
+	cls := b.dwconv(name+"_cls_dw", in, 3, 1)
+	b.convLinear(name+"_cls", cls, 1, 1, anchors*classes)
+	box := b.dwconv(name+"_box_dw", in, 3, 1)
+	b.convLinear(name+"_box", box, 1, 1, anchors*4)
+}
+
+// MobileNetV2SSD builds SSDLite with a MobileNetV2 backbone
+// (300x300x3, INT8): predictions are taken from the block-13 expansion
+// feature (19x19) and the backbone output (10x10), plus four extra
+// feature levels down to 1x1.
+func MobileNetV2SSD() *graph.Graph {
+	b := newBuilder("MobileNetV2-SSD", tensor.Int8)
+	in := b.input(tensor.NewShape(300, 300, 3))
+
+	// Backbone with a tap at the block-13 expansion.
+	x := b.conv("conv1", in, 3, 2, 32)
+	var tap19 graph.LayerID
+	blk := 0
+	for _, spec := range mobileNetV2Specs {
+		for r := 0; r < spec.n; r++ {
+			stride := spec.s
+			if r > 0 {
+				stride = 1
+			}
+			name := fmt.Sprintf("block%d", blk)
+			inC := b.shape(x).C
+			y := x
+			if spec.t != 1 {
+				y = b.conv(name+"_expand", y, 1, 1, inC*spec.t)
+				if blk == 13 {
+					tap19 = y // 19x19x576 feature for the first head
+				}
+			}
+			y = b.dwconv(name+"_dw", y, 3, stride)
+			y = b.convLinear(name+"_project", y, 1, 1, spec.c)
+			if stride == 1 && inC == spec.c {
+				y = b.add(name+"_add", x, y)
+			}
+			x = y
+			blk++
+		}
+	}
+	x = b.conv("conv_last", x, 1, 1, 1280) // 10x10x1280
+
+	// Extra SSD feature layers: 10 -> 5 -> 3 -> 2 -> 1.
+	extras := x
+	feats := []graph.LayerID{tap19, x}
+	for i, c := range []int{512, 256, 256, 128} {
+		name := fmt.Sprintf("extra%d", i)
+		e := b.conv(name+"_1x1", extras, 1, 1, c/2)
+		e = b.dwconv(name+"_dw", e, 3, 2)
+		e = b.conv(name+"_pw", e, 1, 1, c)
+		extras = e
+		feats = append(feats, e)
+	}
+
+	classes := 91 // COCO
+	for i, f := range feats {
+		anchors := 6
+		if i == 0 {
+			anchors = 3
+		}
+		ssdHead(b, fmt.Sprintf("head%d", i), f, anchors, classes)
+	}
+	return b.g
+}
+
+// tuckerBlock is MobileDet's Tucker (compressed regular) block: a 1x1
+// compression convolution followed by a 3x3 regular convolution with
+// linear output, with a residual when shapes allow.
+func tuckerBlock(b *builder, name string, in graph.LayerID, compress, outC int) graph.LayerID {
+	inC := b.shape(in).C
+	x := b.conv(name+"_compress", in, 1, 1, compress)
+	x = b.convLinear(name+"_regular", x, 3, 1, outC)
+	if inC == outC {
+		x = b.add(name+"_add", in, x)
+	}
+	return x
+}
+
+// fusedBlock is MobileDet's fused inverted bottleneck: the 1x1
+// expansion and 3x3 depthwise are fused into one regular 3x3
+// expansion convolution, followed by a 1x1 linear projection.
+func fusedBlock(b *builder, name string, in graph.LayerID, expand, outC, stride int) graph.LayerID {
+	inC := b.shape(in).C
+	x := b.conv(name+"_fused", in, 3, stride, inC*expand)
+	x = b.convLinear(name+"_project", x, 1, 1, outC)
+	if stride == 1 && inC == outC {
+		x = b.add(name+"_add", in, x)
+	}
+	return x
+}
+
+// ibnBlock is a standard inverted bottleneck (as in MobileNetV2).
+func ibnBlock(b *builder, name string, in graph.LayerID, expand, outC, stride int) graph.LayerID {
+	return invertedResidual(b, name, in, expand, outC, stride)
+}
+
+// MobileDetSSD builds a MobileDet-DSP-style detector (320x320x3,
+// INT8): a stem convolution, Tucker blocks early, fused inverted
+// bottlenecks in the middle stages (the regular-convolution-heavy mix
+// MobileDet's NAS found optimal for DSP/NPU targets), and an SSDLite
+// head. Channel widths follow the published MobileDet-DSP table;
+// per-block expansion ratios are rounded to the dominant values.
+func MobileDetSSD() *graph.Graph {
+	b := newBuilder("MobileDet-SSD", tensor.Int8)
+	in := b.input(tensor.NewShape(320, 320, 3))
+
+	x := b.conv("conv1", in, 3, 2, 32) // 160x160x32
+	x = tuckerBlock(b, "tucker0", x, 8, 16)
+
+	// Stage 1: 160 -> 80.
+	x = fusedBlock(b, "fused1a", x, 8, 24, 2)
+	for i := 0; i < 3; i++ {
+		x = tuckerBlock(b, fmt.Sprintf("tucker1%c", 'a'+i), x, 8, 24)
+	}
+
+	// Stage 2: 80 -> 40.
+	x = fusedBlock(b, "fused2a", x, 8, 40, 2)
+	for i := 0; i < 3; i++ {
+		x = fusedBlock(b, fmt.Sprintf("fused2%c", 'b'+i), x, 4, 40, 1)
+	}
+
+	// Stage 3: 40 -> 20.
+	x = ibnBlock(b, "ibn3a", x, 8, 64, 2)
+	x = ibnBlock(b, "ibn3b", x, 4, 64, 1)
+	x = fusedBlock(b, "fused3c", x, 4, 64, 1)
+	x = fusedBlock(b, "fused3d", x, 4, 64, 1)
+
+	// Stage 4: stays 20, wider.
+	x = ibnBlock(b, "ibn4a", x, 8, 120, 1)
+	x = ibnBlock(b, "ibn4b", x, 4, 120, 1)
+	x = ibnBlock(b, "ibn4c", x, 8, 120, 1)
+	x = ibnBlock(b, "ibn4d", x, 8, 120, 1)
+	tap20 := x // 20x20 feature
+
+	// Stage 5: 20 -> 10.
+	x = ibnBlock(b, "ibn5a", x, 8, 160, 2)
+	x = ibnBlock(b, "ibn5b", x, 4, 160, 1)
+	x = ibnBlock(b, "ibn5c", x, 4, 160, 1)
+	x = ibnBlock(b, "ibn5d", x, 8, 240, 1)
+
+	feats := []graph.LayerID{tap20, x}
+	extras := x
+	for i, c := range []int{256, 256, 128, 128} {
+		name := fmt.Sprintf("extra%d", i)
+		e := b.conv(name+"_1x1", extras, 1, 1, c/2)
+		e = b.dwconv(name+"_dw", e, 3, 2)
+		e = b.conv(name+"_pw", e, 1, 1, c)
+		extras = e
+		feats = append(feats, e)
+	}
+
+	classes := 91
+	for i, f := range feats {
+		anchors := 6
+		if i == 0 {
+			anchors = 3
+		}
+		ssdHead(b, fmt.Sprintf("head%d", i), f, anchors, classes)
+	}
+	return b.g
+}

@@ -1,0 +1,63 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// UNet builds the original Ronneberger et al. U-Net (572x572x3, INT8):
+// a four-level valid-convolution contracting path (64..512 channels),
+// a 1024-channel bottleneck, and an expanding path of 2x2 up-
+// convolutions with center-cropped skip connections, ending in a 1x1
+// two-class head. All spatial extents match the paper's figure
+// (572 -> 388 output).
+func UNet() *graph.Graph {
+	b := newBuilder("UNet", tensor.Int8)
+	in := b.input(tensor.NewShape(572, 572, 3))
+
+	type level struct {
+		skip graph.LayerID
+	}
+	var skips []level
+
+	// Contracting path.
+	x := graph.LayerID(in)
+	channels := []int{64, 128, 256, 512}
+	for i, c := range channels {
+		x = b.convValid(fmt.Sprintf("enc%d_conv1", i), x, 3, 1, c)
+		x = b.convValid(fmt.Sprintf("enc%d_conv2", i), x, 3, 1, c)
+		skips = append(skips, level{skip: x})
+		x = b.maxpool(fmt.Sprintf("enc%d_pool", i), x, 2, 2)
+	}
+
+	// Bottleneck: 32 -> 28 at 1024 channels.
+	x = b.convValid("mid_conv1", x, 3, 1, 1024)
+	x = b.convValid("mid_conv2", x, 3, 1, 1024)
+
+	// Expanding path.
+	for i := len(channels) - 1; i >= 0; i-- {
+		c := channels[i]
+		name := fmt.Sprintf("dec%d", i)
+		up := b.g.MustAdd(name+"_up",
+			ops.TransposeConv2D{KH: 2, KW: 2, StrideH: 2, StrideW: 2, OutC: c}, x)
+		upShape := b.shape(up)
+		skip := skips[i].skip
+		skShape := b.shape(skip)
+		mh := skShape.H - upShape.H
+		mw := skShape.W - upShape.W
+		cropped := b.g.MustAdd(name+"_crop", ops.Crop{
+			Top: mh / 2, Bottom: mh - mh/2, Left: mw / 2, Right: mw - mw/2,
+		}, skip)
+		x = b.concat(name+"_concat", cropped, up)
+		x = b.convValid(name+"_conv1", x, 3, 1, c)
+		x = b.convValid(name+"_conv2", x, 3, 1, c)
+	}
+
+	// 388x388x64 -> two-class map.
+	logits := b.convLinear("logits", x, 1, 1, 2)
+	b.g.MustAdd("softmax", ops.Softmax{}, logits)
+	return b.g
+}

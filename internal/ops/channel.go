@@ -1,0 +1,123 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Operator kinds for the channel-manipulation operators.
+const (
+	// KindChannelSlice identifies the channel-slice operator.
+	KindChannelSlice Kind = 101
+	// KindChannelShuffle identifies the channel-shuffle operator.
+	KindChannelShuffle Kind = 102
+)
+
+// ChannelSlice selects the channel interval [From, To) of its input
+// (ShuffleNet branch splits; the inverse of Concat).
+type ChannelSlice struct {
+	From, To int
+}
+
+// Kind implements Op.
+func (ChannelSlice) Kind() Kind { return KindChannelSlice }
+
+// OutShape implements Op.
+func (o ChannelSlice) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := checkArity("ChannelSlice", in, 1); err != nil {
+		return tensor.Shape{}, err
+	}
+	if o.From < 0 || o.To <= o.From || o.To > in[0].C {
+		return tensor.Shape{}, fmt.Errorf("ops: ChannelSlice [%d:%d) outside input channels %d",
+			o.From, o.To, in[0].C)
+	}
+	return tensor.NewShape(in[0].H, in[0].W, o.To-o.From), nil
+}
+
+// MACs implements Op: a copy.
+func (ChannelSlice) MACs(ext tensor.Shape, _ []tensor.Shape) int64 { return ext.Elems() }
+
+// KernelBytes implements Op.
+func (ChannelSlice) KernelBytes(tensor.Shape, []tensor.Shape, tensor.DType) int64 { return 0 }
+
+// InputRegion implements Op: the output region shifted by From.
+func (o ChannelSlice) InputRegion(out tensor.Region, _ int, _ []tensor.Shape) tensor.Region {
+	r := out
+	r.Off = r.Off.WithDim(tensor.AxisC, out.Off.C+o.From)
+	return r
+}
+
+// SupportsPartition implements Op.
+func (ChannelSlice) SupportsPartition(tensor.Axis) bool { return true }
+
+// ChannelWise implements Op.
+func (ChannelSlice) ChannelWise() bool { return true }
+
+func (o ChannelSlice) String() string { return fmt.Sprintf("ChannelSlice[%d:%d)", o.From, o.To) }
+
+// ChannelShuffle permutes channels by interleaving Groups blocks
+// (ShuffleNet's information exchange between grouped convolutions):
+// output channel c reads input channel (c%g)*(C/g) + c/g.
+type ChannelShuffle struct {
+	Groups int
+}
+
+// Kind implements Op.
+func (ChannelShuffle) Kind() Kind { return KindChannelShuffle }
+
+// OutShape implements Op.
+func (o ChannelShuffle) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := checkArity("ChannelShuffle", in, 1); err != nil {
+		return tensor.Shape{}, err
+	}
+	if o.Groups < 2 || in[0].C%o.Groups != 0 {
+		return tensor.Shape{}, fmt.Errorf("ops: ChannelShuffle groups %d incompatible with %d channels",
+			o.Groups, in[0].C)
+	}
+	return in[0], nil
+}
+
+// SourceChannel returns the input channel feeding output channel c for
+// C total channels.
+func (o ChannelShuffle) SourceChannel(c, C int) int {
+	perG := C / o.Groups
+	return (c%o.Groups)*perG + c/o.Groups
+}
+
+// MACs implements Op: a permuting copy.
+func (ChannelShuffle) MACs(ext tensor.Shape, _ []tensor.Shape) int64 { return ext.Elems() }
+
+// KernelBytes implements Op.
+func (ChannelShuffle) KernelBytes(tensor.Shape, []tensor.Shape, tensor.DType) int64 { return 0 }
+
+// InputRegion implements Op: an output channel range maps to scattered
+// input channels; the contiguous bounding range is reported (the DMA
+// moves contiguous blocks). Spatial coordinates pass through.
+func (o ChannelShuffle) InputRegion(out tensor.Region, _ int, in []tensor.Shape) tensor.Region {
+	lo, hi := in[0].C, 0
+	for c := out.Off.C; c < out.End(tensor.AxisC); c++ {
+		src := o.SourceChannel(c, in[0].C)
+		if src < lo {
+			lo = src
+		}
+		if src+1 > hi {
+			hi = src + 1
+		}
+	}
+	r := out
+	r.Off = r.Off.WithDim(tensor.AxisC, lo)
+	r.Ext = r.Ext.WithDim(tensor.AxisC, hi-lo)
+	return r
+}
+
+// SupportsPartition implements Op: spatial splits are free; channel
+// splits are legal too (each output channel depends on exactly one
+// input channel).
+func (ChannelShuffle) SupportsPartition(tensor.Axis) bool { return true }
+
+// ChannelWise implements Op: no kernel, channels processed
+// independently.
+func (ChannelShuffle) ChannelWise() bool { return true }
+
+func (o ChannelShuffle) String() string { return fmt.Sprintf("ChannelShuffle(g=%d)", o.Groups) }

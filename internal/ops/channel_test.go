@@ -1,0 +1,96 @@
+package ops
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestChannelSlice(t *testing.T) {
+	sl := ChannelSlice{From: 8, To: 24}
+	out := mustOut(t, sl, shape(10, 10, 32))
+	if out != shape(10, 10, 16) {
+		t.Errorf("out = %v, want 10x10x16", out)
+	}
+	r := sl.InputRegion(tensor.Region{Off: shape(2, 2, 4), Ext: shape(3, 3, 8)}, 0,
+		[]tensor.Shape{shape(10, 10, 32)})
+	if r.Off.C != 12 || r.Ext.C != 8 {
+		t.Errorf("region = %v, want channels [12,20)", r)
+	}
+	for _, bad := range []ChannelSlice{{From: -1, To: 4}, {From: 4, To: 4}, {From: 0, To: 33}} {
+		if _, err := bad.OutShape([]tensor.Shape{shape(10, 10, 32)}); err == nil {
+			t.Errorf("%v accepted", bad)
+		}
+	}
+}
+
+func TestChannelShuffle(t *testing.T) {
+	sh := ChannelShuffle{Groups: 2}
+	out := mustOut(t, sh, shape(4, 4, 8))
+	if out != shape(4, 4, 8) {
+		t.Errorf("out = %v", out)
+	}
+	// g=2, C=8: out c reads (c%2)*4 + c/2: 0,4,1,5,2,6,3,7.
+	want := []int{0, 4, 1, 5, 2, 6, 3, 7}
+	for c, w := range want {
+		if got := sh.SourceChannel(c, 8); got != w {
+			t.Errorf("SourceChannel(%d) = %d, want %d", c, got, w)
+		}
+	}
+	// The shuffle is a permutation: every source hit exactly once.
+	seen := map[int]bool{}
+	for c := 0; c < 8; c++ {
+		src := sh.SourceChannel(c, 8)
+		if seen[src] {
+			t.Errorf("source %d used twice", src)
+		}
+		seen[src] = true
+	}
+	if _, err := sh.OutShape([]tensor.Shape{shape(4, 4, 7)}); err == nil {
+		t.Error("indivisible channels accepted")
+	}
+	if _, err := (ChannelShuffle{Groups: 1}).OutShape([]tensor.Shape{shape(4, 4, 8)}); err == nil {
+		t.Error("groups < 2 accepted")
+	}
+	// InputRegion must contain every source channel of the range.
+	in := []tensor.Shape{shape(4, 4, 8)}
+	reg := tensor.Region{Off: shape(0, 0, 2), Ext: shape(4, 4, 3)}
+	r := sh.InputRegion(reg, 0, in)
+	for c := 2; c < 5; c++ {
+		src := sh.SourceChannel(c, 8)
+		if src < r.Off.C || src >= r.End(tensor.AxisC) {
+			t.Errorf("source %d of out %d outside region %v", src, c, r)
+		}
+	}
+}
+
+func TestGroupedConv(t *testing.T) {
+	g := Conv2D{KH: 3, KW: 3, StrideH: 1, StrideW: 1, DilH: 1, DilW: 1,
+		Pad: Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}, OutC: 32, Groups: 4}
+	in := []tensor.Shape{shape(16, 16, 16)}
+	out := mustOut(t, g, in[0])
+	if out != shape(16, 16, 32) {
+		t.Fatalf("out = %v", out)
+	}
+	// MACs: 1/4 of the dense cost.
+	dense := NewConv2D(3, 3, 1, 1, 32, Padding{Top: 1, Bottom: 1, Left: 1, Right: 1})
+	if 4*g.MACs(out, in) != dense.MACs(out, in) {
+		t.Errorf("grouped MACs %d != dense/4 %d", g.MACs(out, in), dense.MACs(out, in)/4)
+	}
+	// Kernel: also 1/4 (minus identical bias terms).
+	if g.KernelBytes(out, in, tensor.Int8) >= dense.KernelBytes(out, in, tensor.Int8) {
+		t.Error("grouped kernel not smaller than dense")
+	}
+	// Output channels [8,16) are group 1: input channels [4,8).
+	reg := tensor.Region{Off: shape(0, 0, 8), Ext: shape(16, 16, 8)}
+	r := g.InputRegion(reg, 0, in)
+	if r.Off.C != 4 || r.Ext.C != 4 {
+		t.Errorf("group region C = [%d,+%d), want [4,+4)", r.Off.C, r.Ext.C)
+	}
+	// A range spanning groups 1-2 needs input channels [4,12).
+	reg2 := tensor.Region{Off: shape(0, 0, 8), Ext: shape(16, 16, 16)}
+	r2 := g.InputRegion(reg2, 0, in)
+	if r2.Off.C != 4 || r2.Ext.C != 8 {
+		t.Errorf("two-group region C = [%d,+%d), want [4,+8)", r2.Off.C, r2.Ext.C)
+	}
+}

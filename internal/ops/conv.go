@@ -1,0 +1,338 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Padding holds per-side spatial padding.
+type Padding struct {
+	Top, Bottom, Left, Right int
+}
+
+// SamePad returns the TensorFlow-style "SAME" padding for the given
+// kernel, stride, dilation, and input extent along one axis, split
+// into (before, after) with the extra element after, matching the
+// asymmetric padding the benchmark models use.
+func samePad1D(in, k, stride, dil int) (before, after int) {
+	eff := (k-1)*dil + 1
+	out := (in + stride - 1) / stride
+	total := (out-1)*stride + eff - in
+	if total < 0 {
+		total = 0
+	}
+	return total / 2, total - total/2
+}
+
+// SamePad returns "SAME" padding for a kernel on the given input shape.
+func SamePad(in tensor.Shape, kh, kw, strideH, strideW, dilH, dilW int) Padding {
+	t, b := samePad1D(in.H, kh, strideH, dilH)
+	l, r := samePad1D(in.W, kw, strideW, dilW)
+	return Padding{Top: t, Bottom: b, Left: l, Right: r}
+}
+
+// window describes a sliding spatial window (shared by convolution and
+// pooling): kernel extent, stride, dilation, and padding along one axis.
+type window struct {
+	k, stride, dil, padLo int
+}
+
+// outExtent returns the output extent produced over an input extent.
+func (w window) outExtent(in, padHi int) (int, error) {
+	eff := (w.k-1)*w.dil + 1
+	padded := in + w.padLo + padHi
+	if padded < eff {
+		return 0, fmt.Errorf("ops: effective kernel %d exceeds padded input %d", eff, padded)
+	}
+	return (padded-eff)/w.stride + 1, nil
+}
+
+// inputSpan maps the half-open output interval [o0, o1) to the input
+// interval required to compute it, before clamping.
+func (w window) inputSpan(o0, o1 int) (i0, i1 int) {
+	if o1 <= o0 {
+		return 0, 0
+	}
+	eff := (w.k-1)*w.dil + 1
+	i0 = o0*w.stride - w.padLo
+	i1 = (o1-1)*w.stride - w.padLo + eff
+	return i0, i1
+}
+
+// spanToAxis applies the input span of win along axis a of out to r.
+func spanToAxis(r tensor.Region, a tensor.Axis, win window, out tensor.Region, inExtent int) tensor.Region {
+	i0, i1 := win.inputSpan(out.Off.Dim(a), out.End(a))
+	if i0 < 0 {
+		i0 = 0
+	}
+	if i1 > inExtent {
+		i1 = inExtent
+	}
+	if i1 < i0 {
+		i1 = i0
+	}
+	r.Off = r.Off.WithDim(a, i0)
+	r.Ext = r.Ext.WithDim(a, i1-i0)
+	return r
+}
+
+// Conv2D is a standard (dense) 2-D convolution with OutC output
+// channels, fused bias, and optional fused activation handled as a
+// separate Activation layer by the model builders.
+type Conv2D struct {
+	KH, KW           int
+	StrideH, StrideW int
+	DilH, DilW       int
+	Pad              Padding
+	OutC             int
+	// Groups splits input and output channels into independent groups
+	// (ResNeXt-style grouped convolution); 0 or 1 means dense. OutC
+	// and the input channel count must both divide by Groups.
+	Groups int
+}
+
+// groups returns the effective group count.
+func (o Conv2D) groups() int {
+	if o.Groups <= 1 {
+		return 1
+	}
+	return o.Groups
+}
+
+// NewConv2D returns a convolution with unit dilation.
+func NewConv2D(kh, kw, strideH, strideW, outC int, pad Padding) Conv2D {
+	return Conv2D{KH: kh, KW: kw, StrideH: strideH, StrideW: strideW, DilH: 1, DilW: 1, Pad: pad, OutC: outC}
+}
+
+func (o Conv2D) hWin() window {
+	return window{k: o.KH, stride: o.StrideH, dil: o.DilH, padLo: o.Pad.Top}
+}
+func (o Conv2D) wWin() window {
+	return window{k: o.KW, stride: o.StrideW, dil: o.DilW, padLo: o.Pad.Left}
+}
+
+// Kind implements Op.
+func (Conv2D) Kind() Kind { return KindConv2D }
+
+// OutShape implements Op.
+func (o Conv2D) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := checkArity("Conv2D", in, 1); err != nil {
+		return tensor.Shape{}, err
+	}
+	h, err := o.hWin().outExtent(in[0].H, o.Pad.Bottom)
+	if err != nil {
+		return tensor.Shape{}, err
+	}
+	w, err := o.wWin().outExtent(in[0].W, o.Pad.Right)
+	if err != nil {
+		return tensor.Shape{}, err
+	}
+	return tensor.NewShape(h, w, o.OutC), nil
+}
+
+// MACs implements Op: each output element costs KH*KW*(InC/Groups)
+// MACs.
+func (o Conv2D) MACs(ext tensor.Shape, in []tensor.Shape) int64 {
+	return ext.Elems() * int64(o.KH) * int64(o.KW) * int64(in[0].C/o.groups())
+}
+
+// KernelBytes implements Op: the kernel is KH*KW*InC*OutC weights plus
+// one bias per output channel; a channel-partitioned output extent
+// takes the proportional kernel slice.
+func (o Conv2D) KernelBytes(ext tensor.Shape, in []tensor.Shape, dt tensor.DType) int64 {
+	perChan := int64(o.KH)*int64(o.KW)*int64(in[0].C/o.groups())*int64(dt.Size()) + int64(tensor.Int32.Size())
+	return perChan * int64(ext.C)
+}
+
+// InputRegion implements Op.
+func (o Conv2D) InputRegion(out tensor.Region, inIdx int, in []tensor.Shape) tensor.Region {
+	r := tensor.WholeRegion(in[0])
+	r = spanToAxis(r, tensor.AxisH, o.hWin(), out, in[0].H)
+	r = spanToAxis(r, tensor.AxisW, o.wWin(), out, in[0].W)
+	if g := o.groups(); g > 1 && o.OutC%g == 0 && in[0].C%g == 0 {
+		// Grouped convolution: output channels [c0,c1) read only the
+		// input channels of the groups they span.
+		outPerG := o.OutC / g
+		inPerG := in[0].C / g
+		gLo := out.Off.C / outPerG
+		gHi := (out.End(tensor.AxisC) - 1) / outPerG
+		r.Off = r.Off.WithDim(tensor.AxisC, gLo*inPerG)
+		r.Ext = r.Ext.WithDim(tensor.AxisC, (gHi-gLo+1)*inPerG)
+	}
+	// A dense convolution reads every input channel for any output
+	// channel.
+	return r
+}
+
+// SupportsPartition implements Op: spatial partition replicates the
+// kernel; channel partition splits kernel and output and replicates the
+// input (Table 1 rows 1 and 3). Both avoid partial-sum reduction.
+func (Conv2D) SupportsPartition(tensor.Axis) bool { return true }
+
+// ChannelWise implements Op.
+func (Conv2D) ChannelWise() bool { return false }
+
+func (o Conv2D) String() string {
+	return fmt.Sprintf("Conv2D(%dx%d,s%dx%d,d%dx%d,outC=%d)", o.KH, o.KW, o.StrideH, o.StrideW, o.DilH, o.DilW, o.OutC)
+}
+
+// DepthwiseConv2D convolves each input channel with its own kernel
+// (channel multiplier 1): OutC == InC.
+type DepthwiseConv2D struct {
+	KH, KW           int
+	StrideH, StrideW int
+	DilH, DilW       int
+	Pad              Padding
+}
+
+// NewDepthwiseConv2D returns a depthwise convolution with unit dilation.
+func NewDepthwiseConv2D(kh, kw, strideH, strideW int, pad Padding) DepthwiseConv2D {
+	return DepthwiseConv2D{KH: kh, KW: kw, StrideH: strideH, StrideW: strideW, DilH: 1, DilW: 1, Pad: pad}
+}
+
+func (o DepthwiseConv2D) hWin() window {
+	return window{k: o.KH, stride: o.StrideH, dil: o.DilH, padLo: o.Pad.Top}
+}
+func (o DepthwiseConv2D) wWin() window {
+	return window{k: o.KW, stride: o.StrideW, dil: o.DilW, padLo: o.Pad.Left}
+}
+
+// Kind implements Op.
+func (DepthwiseConv2D) Kind() Kind { return KindDepthwiseConv2D }
+
+// OutShape implements Op.
+func (o DepthwiseConv2D) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := checkArity("DepthwiseConv2D", in, 1); err != nil {
+		return tensor.Shape{}, err
+	}
+	h, err := o.hWin().outExtent(in[0].H, o.Pad.Bottom)
+	if err != nil {
+		return tensor.Shape{}, err
+	}
+	w, err := o.wWin().outExtent(in[0].W, o.Pad.Right)
+	if err != nil {
+		return tensor.Shape{}, err
+	}
+	return tensor.NewShape(h, w, in[0].C), nil
+}
+
+// MACs implements Op: KH*KW per output element.
+func (o DepthwiseConv2D) MACs(ext tensor.Shape, _ []tensor.Shape) int64 {
+	return ext.Elems() * int64(o.KH) * int64(o.KW)
+}
+
+// KernelBytes implements Op: one KHxKW filter plus bias per channel.
+func (o DepthwiseConv2D) KernelBytes(ext tensor.Shape, _ []tensor.Shape, dt tensor.DType) int64 {
+	perChan := int64(o.KH)*int64(o.KW)*int64(dt.Size()) + int64(tensor.Int32.Size())
+	return perChan * int64(ext.C)
+}
+
+// InputRegion implements Op: spatial receptive field, matching channels.
+func (o DepthwiseConv2D) InputRegion(out tensor.Region, _ int, in []tensor.Shape) tensor.Region {
+	r := out // channel interval carries over unchanged
+	r = spanToAxis(r, tensor.AxisH, o.hWin(), out, in[0].H)
+	r = spanToAxis(r, tensor.AxisW, o.wWin(), out, in[0].W)
+	return r
+}
+
+// SupportsPartition implements Op: every axis is independent.
+func (DepthwiseConv2D) SupportsPartition(tensor.Axis) bool { return true }
+
+// ChannelWise implements Op: depthwise convolution is the canonical
+// channel-wise operator (heuristic h4).
+func (DepthwiseConv2D) ChannelWise() bool { return true }
+
+func (o DepthwiseConv2D) String() string {
+	return fmt.Sprintf("DepthwiseConv2D(%dx%d,s%dx%d)", o.KH, o.KW, o.StrideH, o.StrideW)
+}
+
+// TransposeConv2D (a.k.a. deconvolution) upsamples by stride; used by
+// the UNet decoder. Output spatial extent is in*stride + k - stride -
+// padTop - padBottom (the usual transpose-convolution arithmetic).
+type TransposeConv2D struct {
+	KH, KW           int
+	StrideH, StrideW int
+	Pad              Padding
+	OutC             int
+}
+
+// Kind implements Op.
+func (TransposeConv2D) Kind() Kind { return KindTransposeConv2D }
+
+// OutShape implements Op.
+func (o TransposeConv2D) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := checkArity("TransposeConv2D", in, 1); err != nil {
+		return tensor.Shape{}, err
+	}
+	h := (in[0].H-1)*o.StrideH + o.KH - o.Pad.Top - o.Pad.Bottom
+	w := (in[0].W-1)*o.StrideW + o.KW - o.Pad.Left - o.Pad.Right
+	if h <= 0 || w <= 0 {
+		return tensor.Shape{}, fmt.Errorf("ops: TransposeConv2D output %dx%d not positive", h, w)
+	}
+	return tensor.NewShape(h, w, o.OutC), nil
+}
+
+// MACs implements Op: each output element accumulates at most
+// ceil(K/stride) taps per axis over InC channels.
+func (o TransposeConv2D) MACs(ext tensor.Shape, in []tensor.Shape) int64 {
+	tapsH := (o.KH + o.StrideH - 1) / o.StrideH
+	tapsW := (o.KW + o.StrideW - 1) / o.StrideW
+	return ext.Elems() * int64(tapsH) * int64(tapsW) * int64(in[0].C)
+}
+
+// KernelBytes implements Op.
+func (o TransposeConv2D) KernelBytes(ext tensor.Shape, in []tensor.Shape, dt tensor.DType) int64 {
+	perChan := int64(o.KH)*int64(o.KW)*int64(in[0].C)*int64(dt.Size()) + int64(tensor.Int32.Size())
+	return perChan * int64(ext.C)
+}
+
+// transposeSpan maps output interval [o0,o1) back to the contributing
+// input interval for a transposed convolution along one axis.
+func transposeSpan(o0, o1, k, stride, padLo, inExt int) (int, int) {
+	if o1 <= o0 {
+		return 0, 0
+	}
+	// output o receives input i when o = i*stride - padLo + t, t in [0,k):
+	// i ranges over ceil((o - k + 1 + padLo)/stride) .. floor((o + padLo)/stride).
+	i0 := floorDiv(o0+padLo-k+1+stride-1, stride) // ceil((o0+padLo-k+1)/stride)
+	i1 := floorDiv(o1-1+padLo, stride) + 1
+	if i0 < 0 {
+		i0 = 0
+	}
+	if i1 > inExt {
+		i1 = inExt
+	}
+	if i1 < i0 {
+		i1 = i0
+	}
+	return i0, i1
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// InputRegion implements Op.
+func (o TransposeConv2D) InputRegion(out tensor.Region, _ int, in []tensor.Shape) tensor.Region {
+	r := tensor.WholeRegion(in[0])
+	h0, h1 := transposeSpan(out.Off.H, out.End(tensor.AxisH), o.KH, o.StrideH, o.Pad.Top, in[0].H)
+	w0, w1 := transposeSpan(out.Off.W, out.End(tensor.AxisW), o.KW, o.StrideW, o.Pad.Left, in[0].W)
+	r.Off = tensor.NewShape(h0, w0, 0)
+	r.Ext = tensor.NewShape(h1-h0, w1-w0, in[0].C)
+	return r
+}
+
+// SupportsPartition implements Op.
+func (TransposeConv2D) SupportsPartition(tensor.Axis) bool { return true }
+
+// ChannelWise implements Op.
+func (TransposeConv2D) ChannelWise() bool { return false }
+
+func (o TransposeConv2D) String() string {
+	return fmt.Sprintf("TransposeConv2D(%dx%d,s%dx%d,outC=%d)", o.KH, o.KW, o.StrideH, o.StrideW, o.OutC)
+}

@@ -1,0 +1,232 @@
+package ops
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestUniformOpContract drives the full Op interface across every
+// operator with a valid input, checking the cross-cutting contract:
+// MACs scale with the output extent, KernelBytes scale with output
+// channels (and only with them), InputRegion stays in bounds, and the
+// partition-legality and channel-wise classifications are internally
+// consistent.
+func TestUniformOpContract(t *testing.T) {
+	in16 := shape(16, 16, 8)
+	cases := []struct {
+		op          Op
+		ins         []tensor.Shape
+		hasKernel   bool
+		channelWise bool
+	}{
+		{NewConv2D(3, 3, 1, 1, 8, Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), []tensor.Shape{in16}, true, false},
+		{NewDepthwiseConv2D(3, 3, 1, 1, Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), []tensor.Shape{in16}, true, true},
+		{TransposeConv2D{KH: 2, KW: 2, StrideH: 2, StrideW: 2, OutC: 8}, []tensor.Shape{in16}, true, false},
+		{MaxPool2D{KH: 2, KW: 2, StrideH: 2, StrideW: 2}, []tensor.Shape{in16}, false, true},
+		{AvgPool2D{KH: 2, KW: 2, StrideH: 2, StrideW: 2}, []tensor.Shape{in16}, false, true},
+		{GlobalAvgPool{}, []tensor.Shape{in16}, false, true},
+		{FullyConnected{OutC: 4}, []tensor.Shape{shape(1, 1, 8)}, true, false},
+		{Add{Arity: 2}, []tensor.Shape{in16, in16}, false, false},
+		{Mul{}, []tensor.Shape{in16, in16}, false, false},
+		{Concat{Arity: 2}, []tensor.Shape{in16, in16}, false, false},
+		{Activation{Func: ReLU}, []tensor.Shape{in16}, false, false},
+		{Softmax{}, []tensor.Shape{in16}, false, false},
+		{Resize{ScaleH: 2, ScaleW: 2, Mode: Nearest}, []tensor.Shape{in16}, false, true},
+		{Crop{Top: 1, Bottom: 1, Left: 1, Right: 1}, []tensor.Shape{in16}, false, false},
+	}
+
+	for _, c := range cases {
+		c := c
+		t.Run(c.op.Kind().String(), func(t *testing.T) {
+			out, err := c.op.OutShape(c.ins)
+			if err != nil {
+				t.Fatalf("OutShape: %v", err)
+			}
+			whole := tensor.WholeRegion(out)
+
+			// Wrong arity must be rejected (except Input, not listed).
+			if _, err := c.op.OutShape(append(append([]tensor.Shape{}, c.ins...), in16, in16, in16)); err == nil {
+				t.Error("excess inputs accepted")
+			}
+
+			// MACs: full >= half extent along H (when H splittable).
+			full := c.op.MACs(out, c.ins)
+			if full < 0 {
+				t.Errorf("negative MACs %d", full)
+			}
+			if out.H > 1 {
+				half := c.op.MACs(out.WithDim(tensor.AxisH, out.H/2), c.ins)
+				if half > full {
+					t.Errorf("MACs not monotone: half %d > full %d", half, full)
+				}
+			}
+
+			// KernelBytes: zero for kernel-less ops; proportional to
+			// output channels for the rest.
+			kb := c.op.KernelBytes(out, c.ins, tensor.Int8)
+			if c.hasKernel && kb <= 0 {
+				t.Error("kernel-bearing op reports zero kernel bytes")
+			}
+			if !c.hasKernel && kb != 0 {
+				t.Errorf("kernel-less op reports %d kernel bytes", kb)
+			}
+			if c.hasKernel && out.C >= 2 {
+				halfC := c.op.KernelBytes(out.WithDim(tensor.AxisC, out.C/2), c.ins, tensor.Int8)
+				if halfC >= kb {
+					t.Errorf("kernel bytes not split by channels: %d >= %d", halfC, kb)
+				}
+				// Spatial extent must not affect kernel bytes.
+				if out.H >= 2 {
+					halfH := c.op.KernelBytes(out.WithDim(tensor.AxisH, out.H/2), c.ins, tensor.Int8)
+					if halfH != kb {
+						t.Errorf("kernel bytes vary with spatial extent: %d != %d", halfH, kb)
+					}
+				}
+			}
+
+			// InputRegion of the whole output stays within each input.
+			for j := range c.ins {
+				r := c.op.InputRegion(whole, j, c.ins)
+				if !tensor.WholeRegion(c.ins[j]).Contains(r) {
+					t.Errorf("input %d region %v escapes shape %v", j, r, c.ins[j])
+				}
+			}
+
+			// ChannelWise classification as declared.
+			if c.op.ChannelWise() != c.channelWise {
+				t.Errorf("ChannelWise = %v, want %v", c.op.ChannelWise(), c.channelWise)
+			}
+
+			// At least one axis must be partitionable for every
+			// operator in the set (DirNone layers cannot parallelize).
+			any := false
+			for _, ax := range []tensor.Axis{tensor.AxisH, tensor.AxisW, tensor.AxisC} {
+				if c.op.SupportsPartition(ax) {
+					any = true
+				}
+			}
+			if !any {
+				t.Error("no partitionable axis")
+			}
+			if c.op.String() == "" {
+				t.Error("empty String()")
+			}
+		})
+	}
+}
+
+func TestCropDetails(t *testing.T) {
+	crop := Crop{Top: 2, Bottom: 1, Left: 3, Right: 1}
+	out, err := crop.OutShape([]tensor.Shape{shape(10, 10, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != shape(7, 6, 4) {
+		t.Errorf("out = %v, want 7x6x4", out)
+	}
+	r := crop.InputRegion(tensor.Region{Off: shape(1, 1, 0), Ext: shape(2, 2, 4)}, 0, []tensor.Shape{shape(10, 10, 4)})
+	if r.Off.H != 3 || r.Off.W != 4 {
+		t.Errorf("region = %v, want offset (3,4)", r)
+	}
+	if _, err := crop.OutShape([]tensor.Shape{shape(3, 3, 4)}); err == nil {
+		t.Error("margins consuming the input accepted")
+	}
+}
+
+func TestActivationNames(t *testing.T) {
+	for _, f := range []ActFunc{ReLU, ReLU6, Sigmoid, HSwish, TanH} {
+		if f.String() == "" || f.String()[0] == 'A' {
+			t.Errorf("bad name %q", f.String())
+		}
+	}
+	if ActFunc(99).String() == "" {
+		t.Error("unknown func has empty name")
+	}
+}
+
+func TestTransposeConvDetails(t *testing.T) {
+	up := TransposeConv2D{KH: 3, KW: 3, StrideH: 2, StrideW: 2, OutC: 4,
+		Pad: Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}}
+	// out = (in-1)*2 + 3 - 2 = 2*in - 1.
+	out := mustOut(t, up, shape(5, 5, 2))
+	if out != shape(9, 9, 4) {
+		t.Errorf("out = %v, want 9x9x4", out)
+	}
+	if _, err := up.OutShape([]tensor.Shape{shape(1, 1, 2)}); err != nil {
+		t.Errorf("1x1 input rejected: %v", err)
+	}
+	bad := TransposeConv2D{KH: 1, KW: 1, StrideH: 1, StrideW: 1, OutC: 4,
+		Pad: Padding{Top: 3, Bottom: 3, Left: 0, Right: 0}}
+	if _, err := bad.OutShape([]tensor.Shape{shape(2, 2, 2)}); err == nil {
+		t.Error("non-positive output accepted")
+	}
+	// MACs and kernel bytes positive and channel-proportional.
+	in := []tensor.Shape{shape(5, 5, 2)}
+	if up.MACs(out, in) <= 0 {
+		t.Error("zero MACs")
+	}
+	kbFull := up.KernelBytes(out, in, tensor.Int8)
+	kbHalf := up.KernelBytes(out.WithDim(tensor.AxisC, 2), in, tensor.Int8)
+	if kbHalf*2 != kbFull {
+		t.Errorf("kernel slice %d != half of %d", kbHalf, kbFull)
+	}
+}
+
+func TestMulBroadcastMACs(t *testing.T) {
+	m := Mul{}
+	ins := []tensor.Shape{shape(8, 8, 4), shape(1, 1, 4)}
+	out := mustOut(t, m, ins...)
+	if got := m.MACs(out, ins); got != out.Elems() {
+		t.Errorf("MACs = %d", got)
+	}
+	if m.KernelBytes(out, ins, tensor.Int8) != 0 {
+		t.Error("Mul has no kernel")
+	}
+}
+
+func TestResizeNearestRegion(t *testing.T) {
+	rz := Resize{ScaleH: 2, ScaleW: 2, Mode: Nearest}
+	in := []tensor.Shape{shape(8, 8, 4)}
+	r := rz.InputRegion(tensor.Region{Off: shape(4, 4, 0), Ext: shape(4, 4, 4)}, 0, in)
+	if r.Off.H != 2 || r.Ext.H != 2 {
+		t.Errorf("nearest region = %v, want rows [2,4)", r)
+	}
+	if rz.MACs(shape(4, 4, 4), in) != 64 {
+		t.Errorf("nearest MACs = %d", rz.MACs(shape(4, 4, 4), in))
+	}
+	bl := Resize{ScaleH: 2, ScaleW: 2, Mode: Bilinear}
+	if bl.MACs(shape(4, 4, 4), in) != 256 {
+		t.Errorf("bilinear MACs = %d", bl.MACs(shape(4, 4, 4), in))
+	}
+	if bl.String() == "" || rz.String() == "" || Nearest.String() == "" || Bilinear.String() == "" {
+		t.Error("empty names")
+	}
+}
+
+func TestSoftmaxAndGapCosts(t *testing.T) {
+	in := []tensor.Shape{shape(4, 4, 8)}
+	sm := Softmax{}
+	if sm.MACs(shape(4, 4, 8), in) != 4*128 {
+		t.Errorf("softmax MACs = %d", sm.MACs(shape(4, 4, 8), in))
+	}
+	gap := GlobalAvgPool{}
+	if gap.MACs(shape(1, 1, 8), in) != 8*16 {
+		t.Errorf("gap MACs = %d", gap.MACs(shape(1, 1, 8), in))
+	}
+	if sm.KernelBytes(shape(4, 4, 8), in, tensor.Int8) != 0 ||
+		gap.KernelBytes(shape(1, 1, 8), in, tensor.Int8) != 0 {
+		t.Error("reduction ops have no kernels")
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{7, 2, 3}, {-7, 2, -4}, {7, -2, -4}, {-7, -2, 3}, {6, 3, 2}, {-6, 3, -2},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.want {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Crop removes spatial margins (UNet center-crops encoder features to
+// match the decoder's valid-convolution extents).
+type Crop struct {
+	Top, Bottom, Left, Right int
+}
+
+// Kind implements Op. Crop reuses the Resize kind space; it gets its
+// own constant below.
+func (Crop) Kind() Kind { return KindCrop }
+
+// KindCrop identifies the crop operator.
+const KindCrop Kind = 100
+
+// OutShape implements Op.
+func (o Crop) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := checkArity("Crop", in, 1); err != nil {
+		return tensor.Shape{}, err
+	}
+	h := in[0].H - o.Top - o.Bottom
+	w := in[0].W - o.Left - o.Right
+	if h <= 0 || w <= 0 {
+		return tensor.Shape{}, fmt.Errorf("ops: Crop margins %d/%d/%d/%d consume input %s",
+			o.Top, o.Bottom, o.Left, o.Right, in[0])
+	}
+	return tensor.NewShape(h, w, in[0].C), nil
+}
+
+// MACs implements Op: a copy.
+func (Crop) MACs(ext tensor.Shape, _ []tensor.Shape) int64 { return ext.Elems() }
+
+// KernelBytes implements Op.
+func (Crop) KernelBytes(tensor.Shape, []tensor.Shape, tensor.DType) int64 { return 0 }
+
+// InputRegion implements Op: the output region shifted by the crop
+// offset.
+func (o Crop) InputRegion(out tensor.Region, _ int, _ []tensor.Shape) tensor.Region {
+	r := out
+	r.Off = r.Off.WithDim(tensor.AxisH, out.Off.H+o.Top)
+	r.Off = r.Off.WithDim(tensor.AxisW, out.Off.W+o.Left)
+	return r
+}
+
+// SupportsPartition implements Op.
+func (Crop) SupportsPartition(tensor.Axis) bool { return true }
+
+// ChannelWise implements Op.
+func (Crop) ChannelWise() bool { return false }
+
+func (o Crop) String() string {
+	return fmt.Sprintf("Crop(%d/%d/%d/%d)", o.Top, o.Bottom, o.Left, o.Right)
+}

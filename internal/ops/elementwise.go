@@ -1,0 +1,165 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// ActFunc selects the activation function.
+type ActFunc int
+
+// Supported activation functions.
+const (
+	ReLU ActFunc = iota
+	ReLU6
+	Sigmoid
+	HSwish
+	TanH
+)
+
+// String returns the activation name.
+func (f ActFunc) String() string {
+	switch f {
+	case ReLU:
+		return "ReLU"
+	case ReLU6:
+		return "ReLU6"
+	case Sigmoid:
+		return "Sigmoid"
+	case HSwish:
+		return "HSwish"
+	case TanH:
+		return "TanH"
+	default:
+		return fmt.Sprintf("ActFunc(%d)", int(f))
+	}
+}
+
+// Activation applies a pointwise non-linearity.
+type Activation struct {
+	Func ActFunc
+}
+
+// Kind implements Op.
+func (Activation) Kind() Kind { return KindActivation }
+
+// OutShape implements Op.
+func (Activation) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := checkArity("Activation", in, 1); err != nil {
+		return tensor.Shape{}, err
+	}
+	return in[0], nil
+}
+
+// MACs implements Op: one op per element (the lookup-table cost on the
+// NPU is flat per element regardless of function).
+func (Activation) MACs(ext tensor.Shape, _ []tensor.Shape) int64 { return ext.Elems() }
+
+// KernelBytes implements Op.
+func (Activation) KernelBytes(tensor.Shape, []tensor.Shape, tensor.DType) int64 { return 0 }
+
+// InputRegion implements Op: identity.
+func (Activation) InputRegion(out tensor.Region, _ int, _ []tensor.Shape) tensor.Region {
+	return out
+}
+
+// SupportsPartition implements Op.
+func (Activation) SupportsPartition(tensor.Axis) bool { return true }
+
+// ChannelWise implements Op. Activations are pointwise, which is
+// stronger than channel-wise, but h4 targets ops whose kernel is per
+// channel; activations have no kernel so the heuristic treats them as
+// direction-neutral.
+func (Activation) ChannelWise() bool { return false }
+
+func (o Activation) String() string { return fmt.Sprintf("Activation(%s)", o.Func) }
+
+// Add sums its inputs elementwise (residual connections).
+type Add struct {
+	Arity int // number of inputs, >= 2
+}
+
+// Kind implements Op.
+func (Add) Kind() Kind { return KindAdd }
+
+// OutShape implements Op.
+func (o Add) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	n := o.Arity
+	if n == 0 {
+		n = 2
+	}
+	if err := checkArity("Add", in, n); err != nil {
+		return tensor.Shape{}, err
+	}
+	for i := 1; i < len(in); i++ {
+		if in[i] != in[0] {
+			return tensor.Shape{}, fmt.Errorf("ops: Add input %d shape %s != %s", i, in[i], in[0])
+		}
+	}
+	return in[0], nil
+}
+
+// MACs implements Op.
+func (o Add) MACs(ext tensor.Shape, in []tensor.Shape) int64 {
+	return ext.Elems() * int64(len(in)-1)
+}
+
+// KernelBytes implements Op.
+func (Add) KernelBytes(tensor.Shape, []tensor.Shape, tensor.DType) int64 { return 0 }
+
+// InputRegion implements Op: identity on every input.
+func (Add) InputRegion(out tensor.Region, _ int, _ []tensor.Shape) tensor.Region { return out }
+
+// SupportsPartition implements Op.
+func (Add) SupportsPartition(tensor.Axis) bool { return true }
+
+// ChannelWise implements Op.
+func (Add) ChannelWise() bool { return false }
+
+func (o Add) String() string { return fmt.Sprintf("Add(x%d)", o.Arity) }
+
+// Mul multiplies two inputs elementwise, broadcasting a 1x1xC second
+// input over the spatial extent of the first (squeeze-excite scaling).
+type Mul struct{}
+
+// Kind implements Op.
+func (Mul) Kind() Kind { return KindMul }
+
+// OutShape implements Op.
+func (Mul) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := checkArity("Mul", in, 2); err != nil {
+		return tensor.Shape{}, err
+	}
+	bcast := in[1].H == 1 && in[1].W == 1 && in[1].C == in[0].C
+	if in[1] != in[0] && !bcast {
+		return tensor.Shape{}, fmt.Errorf("ops: Mul input shapes %s, %s incompatible", in[0], in[1])
+	}
+	return in[0], nil
+}
+
+// MACs implements Op.
+func (Mul) MACs(ext tensor.Shape, _ []tensor.Shape) int64 { return ext.Elems() }
+
+// KernelBytes implements Op.
+func (Mul) KernelBytes(tensor.Shape, []tensor.Shape, tensor.DType) int64 { return 0 }
+
+// InputRegion implements Op: identity for input 0; a broadcast second
+// input contributes its whole (1x1) plane for the output channel range.
+func (Mul) InputRegion(out tensor.Region, inIdx int, in []tensor.Shape) tensor.Region {
+	if inIdx == 0 || in[1] == in[0] {
+		return out
+	}
+	r := tensor.WholeRegion(in[1])
+	r.Off = r.Off.WithDim(tensor.AxisC, out.Off.C)
+	r.Ext = r.Ext.WithDim(tensor.AxisC, out.Ext.C)
+	return r
+}
+
+// SupportsPartition implements Op.
+func (Mul) SupportsPartition(tensor.Axis) bool { return true }
+
+// ChannelWise implements Op.
+func (Mul) ChannelWise() bool { return false }
+
+func (Mul) String() string { return "Mul" }

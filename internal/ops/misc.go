@@ -1,0 +1,255 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Concat concatenates its inputs along the channel axis (Inception
+// branches, SSD feature pyramids, UNet skip connections).
+type Concat struct {
+	Arity int // number of inputs, >= 2
+}
+
+// Kind implements Op.
+func (Concat) Kind() Kind { return KindConcat }
+
+// OutShape implements Op.
+func (o Concat) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	n := o.Arity
+	if n == 0 {
+		n = 2
+	}
+	if err := checkArity("Concat", in, n); err != nil {
+		return tensor.Shape{}, err
+	}
+	c := 0
+	for i, s := range in {
+		if s.H != in[0].H || s.W != in[0].W {
+			return tensor.Shape{}, fmt.Errorf("ops: Concat input %d spatial %dx%d != %dx%d", i, s.H, s.W, in[0].H, in[0].W)
+		}
+		c += s.C
+	}
+	return tensor.NewShape(in[0].H, in[0].W, c), nil
+}
+
+// MACs implements Op: concatenation is pure data movement; charge one
+// op per element copied so tiles have a nonzero compute stage.
+func (Concat) MACs(ext tensor.Shape, _ []tensor.Shape) int64 { return ext.Elems() }
+
+// KernelBytes implements Op.
+func (Concat) KernelBytes(tensor.Shape, []tensor.Shape, tensor.DType) int64 { return 0 }
+
+// channelBase returns the output-channel offset at which input inIdx
+// begins.
+func channelBase(inIdx int, in []tensor.Shape) int {
+	base := 0
+	for i := 0; i < inIdx; i++ {
+		base += in[i].C
+	}
+	return base
+}
+
+// InputRegion implements Op: the slice of input inIdx whose channel
+// range intersects the requested output channels, shifted into the
+// input's own channel coordinates.
+func (Concat) InputRegion(out tensor.Region, inIdx int, in []tensor.Shape) tensor.Region {
+	base := channelBase(inIdx, in)
+	lo := out.Off.C - base
+	hi := out.End(tensor.AxisC) - base
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > in[inIdx].C {
+		hi = in[inIdx].C
+	}
+	if hi < lo {
+		hi = lo
+	}
+	r := out
+	r.Off = r.Off.WithDim(tensor.AxisC, lo)
+	r.Ext = r.Ext.WithDim(tensor.AxisC, hi-lo)
+	return r
+}
+
+// SupportsPartition implements Op.
+func (Concat) SupportsPartition(tensor.Axis) bool { return true }
+
+// ChannelWise implements Op.
+func (Concat) ChannelWise() bool { return false }
+
+func (o Concat) String() string { return fmt.Sprintf("Concat(x%d)", o.Arity) }
+
+// FullyConnected maps a 1x1xInC vector to a 1x1xOutC vector (classifier
+// heads).
+type FullyConnected struct {
+	OutC int
+}
+
+// Kind implements Op.
+func (FullyConnected) Kind() Kind { return KindFullyConnected }
+
+// OutShape implements Op.
+func (o FullyConnected) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := checkArity("FullyConnected", in, 1); err != nil {
+		return tensor.Shape{}, err
+	}
+	if in[0].H != 1 || in[0].W != 1 {
+		return tensor.Shape{}, fmt.Errorf("ops: FullyConnected input must be 1x1xC, got %s", in[0])
+	}
+	return tensor.NewShape(1, 1, o.OutC), nil
+}
+
+// MACs implements Op.
+func (o FullyConnected) MACs(ext tensor.Shape, in []tensor.Shape) int64 {
+	return int64(ext.C) * int64(in[0].C)
+}
+
+// KernelBytes implements Op.
+func (o FullyConnected) KernelBytes(ext tensor.Shape, in []tensor.Shape, dt tensor.DType) int64 {
+	perChan := int64(in[0].C)*int64(dt.Size()) + int64(tensor.Int32.Size())
+	return perChan * int64(ext.C)
+}
+
+// InputRegion implements Op: every output needs the whole input vector.
+func (FullyConnected) InputRegion(_ tensor.Region, _ int, in []tensor.Shape) tensor.Region {
+	return tensor.WholeRegion(in[0])
+}
+
+// SupportsPartition implements Op: only output channels can be split
+// (the 1x1 spatial extent admits no spatial parallelism).
+func (FullyConnected) SupportsPartition(a tensor.Axis) bool { return a == tensor.AxisC }
+
+// ChannelWise implements Op.
+func (FullyConnected) ChannelWise() bool { return false }
+
+func (o FullyConnected) String() string { return fmt.Sprintf("FullyConnected(outC=%d)", o.OutC) }
+
+// Softmax normalizes along the channel axis.
+type Softmax struct{}
+
+// Kind implements Op.
+func (Softmax) Kind() Kind { return KindSoftmax }
+
+// OutShape implements Op.
+func (Softmax) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := checkArity("Softmax", in, 1); err != nil {
+		return tensor.Shape{}, err
+	}
+	return in[0], nil
+}
+
+// MACs implements Op: exp, sum, divide — roughly 4 ops per element.
+func (Softmax) MACs(ext tensor.Shape, _ []tensor.Shape) int64 { return 4 * ext.Elems() }
+
+// KernelBytes implements Op.
+func (Softmax) KernelBytes(tensor.Shape, []tensor.Shape, tensor.DType) int64 { return 0 }
+
+// InputRegion implements Op: each output pixel needs all channels of
+// that pixel.
+func (Softmax) InputRegion(out tensor.Region, _ int, in []tensor.Shape) tensor.Region {
+	r := out
+	r.Off = r.Off.WithDim(tensor.AxisC, 0)
+	r.Ext = r.Ext.WithDim(tensor.AxisC, in[0].C)
+	return r
+}
+
+// SupportsPartition implements Op: the channel reduction forbids
+// channel partitioning; spatial is free.
+func (Softmax) SupportsPartition(a tensor.Axis) bool { return a.Spatial() }
+
+// ChannelWise implements Op.
+func (Softmax) ChannelWise() bool { return false }
+
+func (Softmax) String() string { return "Softmax" }
+
+// ResizeMode selects the interpolation used by Resize.
+type ResizeMode int
+
+// Interpolation modes.
+const (
+	Nearest ResizeMode = iota
+	Bilinear
+)
+
+// String returns the mode name.
+func (m ResizeMode) String() string {
+	if m == Nearest {
+		return "nearest"
+	}
+	return "bilinear"
+}
+
+// Resize scales the spatial extent by an integer factor (DeepLabV3+
+// decoder upsampling).
+type Resize struct {
+	ScaleH, ScaleW int
+	Mode           ResizeMode
+}
+
+// Kind implements Op.
+func (Resize) Kind() Kind { return KindResize }
+
+// OutShape implements Op.
+func (o Resize) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := checkArity("Resize", in, 1); err != nil {
+		return tensor.Shape{}, err
+	}
+	if o.ScaleH < 1 || o.ScaleW < 1 {
+		return tensor.Shape{}, fmt.Errorf("ops: Resize scale %dx%d must be >= 1", o.ScaleH, o.ScaleW)
+	}
+	return tensor.NewShape(in[0].H*o.ScaleH, in[0].W*o.ScaleW, in[0].C), nil
+}
+
+// MACs implements Op: nearest is a copy (1 op); bilinear blends 4
+// neighbours (4 ops).
+func (o Resize) MACs(ext tensor.Shape, _ []tensor.Shape) int64 {
+	if o.Mode == Bilinear {
+		return 4 * ext.Elems()
+	}
+	return ext.Elems()
+}
+
+// KernelBytes implements Op.
+func (Resize) KernelBytes(tensor.Shape, []tensor.Shape, tensor.DType) int64 { return 0 }
+
+// InputRegion implements Op. Bilinear sampling uses half-pixel source
+// centers, so it can read one source row/column on either side of the
+// scaled interval.
+func (o Resize) InputRegion(out tensor.Region, _ int, in []tensor.Shape) tensor.Region {
+	h0 := out.Off.H / o.ScaleH
+	h1 := (out.End(tensor.AxisH)-1)/o.ScaleH + 1
+	w0 := out.Off.W / o.ScaleW
+	w1 := (out.End(tensor.AxisW)-1)/o.ScaleW + 1
+	if o.Mode == Bilinear {
+		h0--
+		h1++
+		w0--
+		w1++
+	}
+	if h0 < 0 {
+		h0 = 0
+	}
+	if w0 < 0 {
+		w0 = 0
+	}
+	if h1 > in[0].H {
+		h1 = in[0].H
+	}
+	if w1 > in[0].W {
+		w1 = in[0].W
+	}
+	r := out
+	r.Off = tensor.NewShape(h0, w0, out.Off.C)
+	r.Ext = tensor.NewShape(h1-h0, w1-w0, out.Ext.C)
+	return r
+}
+
+// SupportsPartition implements Op.
+func (Resize) SupportsPartition(tensor.Axis) bool { return true }
+
+// ChannelWise implements Op.
+func (Resize) ChannelWise() bool { return true }
+
+func (o Resize) String() string { return fmt.Sprintf("Resize(x%dx%d,%s)", o.ScaleH, o.ScaleW, o.Mode) }

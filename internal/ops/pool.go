@@ -1,0 +1,162 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// MaxPool2D is a sliding-window max reduction over each channel.
+type MaxPool2D struct {
+	KH, KW           int
+	StrideH, StrideW int
+	Pad              Padding
+}
+
+// Kind implements Op.
+func (MaxPool2D) Kind() Kind { return KindMaxPool2D }
+
+func (o MaxPool2D) hWin() window { return window{k: o.KH, stride: o.StrideH, dil: 1, padLo: o.Pad.Top} }
+func (o MaxPool2D) wWin() window {
+	return window{k: o.KW, stride: o.StrideW, dil: 1, padLo: o.Pad.Left}
+}
+
+// OutShape implements Op.
+func (o MaxPool2D) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := checkArity("MaxPool2D", in, 1); err != nil {
+		return tensor.Shape{}, err
+	}
+	h, err := o.hWin().outExtent(in[0].H, o.Pad.Bottom)
+	if err != nil {
+		return tensor.Shape{}, err
+	}
+	w, err := o.wWin().outExtent(in[0].W, o.Pad.Right)
+	if err != nil {
+		return tensor.Shape{}, err
+	}
+	return tensor.NewShape(h, w, in[0].C), nil
+}
+
+// MACs implements Op: one comparison per window element.
+func (o MaxPool2D) MACs(ext tensor.Shape, _ []tensor.Shape) int64 {
+	return ext.Elems() * int64(o.KH) * int64(o.KW)
+}
+
+// KernelBytes implements Op: pooling has no weights.
+func (MaxPool2D) KernelBytes(tensor.Shape, []tensor.Shape, tensor.DType) int64 { return 0 }
+
+// InputRegion implements Op.
+func (o MaxPool2D) InputRegion(out tensor.Region, _ int, in []tensor.Shape) tensor.Region {
+	r := out
+	r = spanToAxis(r, tensor.AxisH, o.hWin(), out, in[0].H)
+	r = spanToAxis(r, tensor.AxisW, o.wWin(), out, in[0].W)
+	return r
+}
+
+// SupportsPartition implements Op.
+func (MaxPool2D) SupportsPartition(tensor.Axis) bool { return true }
+
+// ChannelWise implements Op: pooling is channel-wise (heuristic h4).
+func (MaxPool2D) ChannelWise() bool { return true }
+
+func (o MaxPool2D) String() string {
+	return fmt.Sprintf("MaxPool2D(%dx%d,s%dx%d)", o.KH, o.KW, o.StrideH, o.StrideW)
+}
+
+// AvgPool2D is a sliding-window average over each channel.
+type AvgPool2D struct {
+	KH, KW           int
+	StrideH, StrideW int
+	Pad              Padding
+}
+
+// Kind implements Op.
+func (AvgPool2D) Kind() Kind { return KindAvgPool2D }
+
+func (o AvgPool2D) hWin() window { return window{k: o.KH, stride: o.StrideH, dil: 1, padLo: o.Pad.Top} }
+func (o AvgPool2D) wWin() window {
+	return window{k: o.KW, stride: o.StrideW, dil: 1, padLo: o.Pad.Left}
+}
+
+// OutShape implements Op.
+func (o AvgPool2D) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := checkArity("AvgPool2D", in, 1); err != nil {
+		return tensor.Shape{}, err
+	}
+	h, err := o.hWin().outExtent(in[0].H, o.Pad.Bottom)
+	if err != nil {
+		return tensor.Shape{}, err
+	}
+	w, err := o.wWin().outExtent(in[0].W, o.Pad.Right)
+	if err != nil {
+		return tensor.Shape{}, err
+	}
+	return tensor.NewShape(h, w, in[0].C), nil
+}
+
+// MACs implements Op: one add per window element.
+func (o AvgPool2D) MACs(ext tensor.Shape, _ []tensor.Shape) int64 {
+	return ext.Elems() * int64(o.KH) * int64(o.KW)
+}
+
+// KernelBytes implements Op.
+func (AvgPool2D) KernelBytes(tensor.Shape, []tensor.Shape, tensor.DType) int64 { return 0 }
+
+// InputRegion implements Op.
+func (o AvgPool2D) InputRegion(out tensor.Region, _ int, in []tensor.Shape) tensor.Region {
+	r := out
+	r = spanToAxis(r, tensor.AxisH, o.hWin(), out, in[0].H)
+	r = spanToAxis(r, tensor.AxisW, o.wWin(), out, in[0].W)
+	return r
+}
+
+// SupportsPartition implements Op.
+func (AvgPool2D) SupportsPartition(tensor.Axis) bool { return true }
+
+// ChannelWise implements Op.
+func (AvgPool2D) ChannelWise() bool { return true }
+
+func (o AvgPool2D) String() string {
+	return fmt.Sprintf("AvgPool2D(%dx%d,s%dx%d)", o.KH, o.KW, o.StrideH, o.StrideW)
+}
+
+// GlobalAvgPool reduces the full spatial extent of each channel to a
+// single value (output 1x1xC).
+type GlobalAvgPool struct{}
+
+// Kind implements Op.
+func (GlobalAvgPool) Kind() Kind { return KindGlobalAvgPool }
+
+// OutShape implements Op.
+func (GlobalAvgPool) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := checkArity("GlobalAvgPool", in, 1); err != nil {
+		return tensor.Shape{}, err
+	}
+	return tensor.NewShape(1, 1, in[0].C), nil
+}
+
+// MACs implements Op: one add per input element reduced.
+func (GlobalAvgPool) MACs(ext tensor.Shape, in []tensor.Shape) int64 {
+	return int64(ext.C) * int64(in[0].H) * int64(in[0].W)
+}
+
+// KernelBytes implements Op.
+func (GlobalAvgPool) KernelBytes(tensor.Shape, []tensor.Shape, tensor.DType) int64 { return 0 }
+
+// InputRegion implements Op: a channel slice of the output needs the
+// whole spatial plane of those channels.
+func (GlobalAvgPool) InputRegion(out tensor.Region, _ int, in []tensor.Shape) tensor.Region {
+	r := tensor.WholeRegion(in[0])
+	r.Off = r.Off.WithDim(tensor.AxisC, out.Off.C)
+	r.Ext = r.Ext.WithDim(tensor.AxisC, out.Ext.C)
+	return r
+}
+
+// SupportsPartition implements Op: only the channel axis splits without
+// a partial-sum reduction; the 1x1 spatial output cannot be split.
+func (GlobalAvgPool) SupportsPartition(a tensor.Axis) bool { return a == tensor.AxisC }
+
+// ChannelWise implements Op.
+func (GlobalAvgPool) ChannelWise() bool { return true }
+
+func (GlobalAvgPool) String() string { return "GlobalAvgPool" }

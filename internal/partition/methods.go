@@ -1,0 +1,62 @@
+package partition
+
+// Method describes one convolution-layer partitioning method, one row
+// of the paper's Table 1. The compiler only ever selects the two
+// Preferred methods; the reduction-requiring alternatives are listed
+// so the Table 1 experiment can enumerate and justify the choice.
+type Method struct {
+	// Name is the paper's label; an asterisk marks the dispreferred
+	// partial-sum variants.
+	Name string
+	// Direction is the output split the method corresponds to (the
+	// partial-sum variants split the kernel or input instead of the
+	// output and have no output Direction; they are marked DirNone).
+	Direction Direction
+	// DataPartitioned lists which tensors the method splits.
+	DataPartitioned []string
+	// DataReplicated lists which tensors every core must hold whole.
+	DataReplicated []string
+	// ExtraCommComp names the extra stage the method needs, if any.
+	ExtraCommComp string
+	// Preferred reports whether the compiler may select the method.
+	Preferred bool
+}
+
+// ConvMethods returns the four convolution partitioning methods of
+// Table 1 in paper order.
+func ConvMethods() []Method {
+	return []Method{
+		{
+			Name:            "spatial",
+			Direction:       DirSpatialH,
+			DataPartitioned: []string{"input", "output"},
+			DataReplicated:  []string{"kernel"},
+			ExtraCommComp:   "none",
+			Preferred:       true,
+		},
+		{
+			Name:            "spatial*",
+			Direction:       DirNone,
+			DataPartitioned: []string{"kernel"},
+			DataReplicated:  []string{"input", "output"},
+			ExtraCommComp:   "partial sum reduction",
+			Preferred:       false,
+		},
+		{
+			Name:            "channel",
+			Direction:       DirChannel,
+			DataPartitioned: []string{"kernel", "output"},
+			DataReplicated:  []string{"input"},
+			ExtraCommComp:   "none",
+			Preferred:       true,
+		},
+		{
+			Name:            "channel*",
+			Direction:       DirNone,
+			DataPartitioned: []string{"input", "kernel"},
+			DataReplicated:  []string{},
+			ExtraCommComp:   "partial sum reduction",
+			Preferred:       false,
+		},
+	}
+}

@@ -1,0 +1,412 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+func convGraph() (*graph.Graph, graph.LayerID) {
+	g := graph.New("t", tensor.Int8)
+	in := g.Input("input", tensor.NewShape(64, 64, 32))
+	c := g.MustAdd("conv", ops.NewConv2D(3, 3, 1, 1, 64,
+		ops.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), in)
+	return g, c
+}
+
+func TestDirectionStringsAndAxis(t *testing.T) {
+	if DirSpatialH.Axis() != tensor.AxisH || DirSpatialW.Axis() != tensor.AxisW || DirChannel.Axis() != tensor.AxisC {
+		t.Error("Axis mapping wrong")
+	}
+	if !DirSpatialH.Spatial() || DirChannel.Spatial() {
+		t.Error("Spatial classification wrong")
+	}
+	for _, d := range []Direction{DirNone, DirSpatialH, DirSpatialW, DirChannel} {
+		if d.String() == "" {
+			t.Error("empty direction name")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DirNone.Axis must panic")
+		}
+	}()
+	DirNone.Axis()
+}
+
+func TestPlanConvSpatialDefault(t *testing.T) {
+	g, c := convGraph()
+	p := New(g, arch.Exynos2100Like())
+	plan := p.PlanLayer(g.Layer(c))
+	if plan.Direction != DirSpatialH {
+		t.Fatalf("direction = %v (%s), want spatial-H", plan.Direction, plan.Reason)
+	}
+	if len(plan.Subs) != 3 {
+		t.Fatalf("subs = %d", len(plan.Subs))
+	}
+	// Regions must tile the output exactly: disjoint and covering.
+	total := int64(0)
+	for i, s := range plan.Subs {
+		total += s.Out.Elems()
+		for j := i + 1; j < len(plan.Subs); j++ {
+			if !s.Empty() && !plan.Subs[j].Empty() && s.Out.Overlaps(plan.Subs[j].Out) {
+				t.Errorf("subs %d and %d overlap", i, j)
+			}
+		}
+	}
+	if total != g.Layer(c).OutShape.Elems() {
+		t.Errorf("regions cover %d elems, want %d", total, g.Layer(c).OutShape.Elems())
+	}
+	// Spatial partition: every core reads all input channels; interior
+	// cores need halo rows beyond their share.
+	for _, s := range plan.Subs {
+		if s.Empty() {
+			continue
+		}
+		if s.In[0].Ext.C != 32 {
+			t.Errorf("core %d input channels %d, want 32", s.Core, s.In[0].Ext.C)
+		}
+		if s.In[0].Ext.H < s.Out.Ext.H {
+			t.Errorf("core %d input rows %d < output rows %d", s.Core, s.In[0].Ext.H, s.Out.Ext.H)
+		}
+	}
+}
+
+func TestPlanInputLayer(t *testing.T) {
+	g, _ := convGraph()
+	p := New(g, arch.Exynos2100Like())
+	plan := p.PlanLayer(g.Layer(0))
+	if plan.Direction != DirNone || plan.Subs != nil {
+		t.Errorf("input plan = %+v", plan)
+	}
+}
+
+func TestChannelWiseOpPrefersChannel(t *testing.T) {
+	g := graph.New("t", tensor.Int8)
+	in := g.Input("input", tensor.NewShape(56, 56, 192))
+	dw := g.MustAdd("dw", ops.NewDepthwiseConv2D(3, 3, 1, 1,
+		ops.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), in)
+	p := New(g, arch.Exynos2100Like())
+	plan := p.PlanLayer(g.Layer(dw))
+	if plan.Direction != DirChannel {
+		t.Errorf("depthwise direction = %v (%s), want channel (h4)", plan.Direction, plan.Reason)
+	}
+	// Channel chunks must respect the 32-channel max alignment.
+	for i, s := range plan.Subs[:len(plan.Subs)-1] {
+		if !s.Empty() && s.Out.Ext.C%32 != 0 {
+			t.Errorf("core %d channel chunk %d not 32-aligned", i, s.Out.Ext.C)
+		}
+	}
+}
+
+func TestShallowShapePrefersChannel(t *testing.T) {
+	// 2x2 spatial output cannot feed 3 cores; channel is deep.
+	g := graph.New("t", tensor.Int8)
+	in := g.Input("input", tensor.NewShape(2, 2, 512))
+	c := g.MustAdd("conv", ops.NewConv2D(1, 1, 1, 1, 512, ops.Padding{}), in)
+	p := New(g, arch.Exynos2100Like())
+	plan := p.PlanLayer(g.Layer(c))
+	if plan.Direction != DirChannel {
+		t.Errorf("direction = %v (%s), want channel (h3)", plan.Direction, plan.Reason)
+	}
+}
+
+func TestHugeKernelPrefersChannel(t *testing.T) {
+	// 1x1 conv with massive fan-out: kernel dwarfs the input (h2).
+	g := graph.New("t", tensor.Int8)
+	in := g.Input("input", tensor.NewShape(32, 32, 16))
+	c := g.MustAdd("conv", ops.NewConv2D(3, 3, 1, 1, 2048,
+		ops.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), in)
+	p := New(g, arch.Exynos2100Like())
+	plan := p.PlanLayer(g.Layer(c))
+	if plan.Direction != DirChannel {
+		t.Errorf("direction = %v (%s), want channel (h2)", plan.Direction, plan.Reason)
+	}
+}
+
+func TestSoftmaxForcedSpatial(t *testing.T) {
+	g := graph.New("t", tensor.Int8)
+	in := g.Input("input", tensor.NewShape(64, 64, 21))
+	sm := g.MustAdd("softmax", ops.Softmax{}, in)
+	p := New(g, arch.Exynos2100Like())
+	plan := p.PlanLayer(g.Layer(sm))
+	if plan.Direction != DirSpatialH {
+		t.Errorf("softmax direction = %v, want spatial", plan.Direction)
+	}
+}
+
+func TestFCForcedChannel(t *testing.T) {
+	g := graph.New("t", tensor.Int8)
+	in := g.Input("input", tensor.NewShape(1, 1, 2048))
+	fc := g.MustAdd("fc", ops.FullyConnected{OutC: 1000}, in)
+	p := New(g, arch.Exynos2100Like())
+	plan := p.PlanLayer(g.Layer(fc))
+	if plan.Direction != DirChannel {
+		t.Errorf("fc direction = %v, want channel", plan.Direction)
+	}
+}
+
+func TestUnpartitionableRunsOnOneCore(t *testing.T) {
+	// A 1x1x1 output admits no split anywhere.
+	g := graph.New("t", tensor.Int8)
+	in := g.Input("input", tensor.NewShape(4, 4, 1))
+	gp := g.MustAdd("gap", ops.GlobalAvgPool{}, in)
+	p := New(g, arch.Exynos2100Like())
+	plan := p.PlanLayer(g.Layer(gp))
+	if plan.Direction != DirNone {
+		t.Fatalf("direction = %v, want none", plan.Direction)
+	}
+	nonEmpty := 0
+	for _, s := range plan.Subs {
+		if !s.Empty() {
+			nonEmpty++
+			if s.Out.Ext != g.Layer(gp).OutShape {
+				t.Errorf("single sub must own whole output, got %v", s.Out)
+			}
+		}
+	}
+	if nonEmpty != 1 {
+		t.Errorf("nonEmpty = %d, want 1", nonEmpty)
+	}
+}
+
+func TestForcedModes(t *testing.T) {
+	g := graph.New("t", tensor.Int8)
+	in := g.Input("input", tensor.NewShape(56, 56, 192))
+	dw := g.MustAdd("dw", ops.NewDepthwiseConv2D(3, 3, 1, 1,
+		ops.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), in)
+
+	ps := New(g, arch.Exynos2100Like())
+	ps.Mode = ForceSpatial
+	if plan := ps.PlanLayer(g.Layer(dw)); plan.Direction != DirSpatialH {
+		t.Errorf("ForceSpatial gave %v", plan.Direction)
+	}
+	pc := New(g, arch.Exynos2100Like())
+	pc.Mode = ForceChannel
+	if plan := pc.PlanLayer(g.Layer(dw)); plan.Direction != DirChannel {
+		t.Errorf("ForceChannel gave %v", plan.Direction)
+	}
+
+	// Forced channel on a softmax falls back to spatial.
+	g2 := graph.New("t2", tensor.Int8)
+	in2 := g2.Input("input", tensor.NewShape(64, 64, 21))
+	sm := g2.MustAdd("softmax", ops.Softmax{}, in2)
+	pc2 := New(g2, arch.Exynos2100Like())
+	pc2.Mode = ForceChannel
+	if plan := pc2.PlanLayer(g2.Layer(sm)); plan.Direction != DirSpatialH {
+		t.Errorf("ForceChannel softmax gave %v", plan.Direction)
+	}
+}
+
+func TestSingleCorePlan(t *testing.T) {
+	g, c := convGraph()
+	p := New(g, arch.SingleCore())
+	plan := p.PlanLayer(g.Layer(c))
+	if len(plan.Subs) != 1 || plan.Subs[0].Out.Ext != g.Layer(c).OutShape {
+		t.Errorf("single-core plan = %+v", plan)
+	}
+}
+
+func TestHeterogeneousBalanceFavorsFastDMA(t *testing.T) {
+	// A memory-bound layer (1x1 conv, huge spatial extent) should give
+	// the high-bandwidth core at least as many rows as the slow one.
+	g := graph.New("t", tensor.Int8)
+	in := g.Input("input", tensor.NewShape(512, 64, 8))
+	c := g.MustAdd("conv", ops.NewConv2D(1, 1, 1, 1, 8, ops.Padding{}), in)
+	p := New(g, arch.Exynos2100Like())
+	plan := p.PlanLayer(g.Layer(c))
+	if plan.Direction != DirSpatialH {
+		t.Fatalf("direction = %v", plan.Direction)
+	}
+	h0 := plan.Subs[0].Out.Ext.H
+	h2 := plan.Subs[2].Out.Ext.H
+	if h0 < h2 {
+		t.Errorf("fast-DMA core got %d rows < slow core %d", h0, h2)
+	}
+}
+
+func TestWideFlatInputUsesSpatialW(t *testing.T) {
+	// A 1-row image cannot split along H; spatial preference falls to W.
+	g := graph.New("w", tensor.Int8)
+	in := g.Input("input", tensor.NewShape(1, 256, 8))
+	c := g.MustAdd("conv", ops.NewConv2D(1, 3, 1, 1, 8,
+		ops.Padding{Left: 1, Right: 1}), in)
+	p := New(g, arch.Exynos2100Like())
+	plan := p.PlanLayer(g.Layer(c))
+	if plan.Direction != DirSpatialW {
+		t.Fatalf("direction = %v (%s), want spatial-W", plan.Direction, plan.Reason)
+	}
+	var total int64
+	for _, s := range plan.Subs {
+		total += s.Out.Elems()
+		if !s.Empty() && s.Out.Ext.H != 1 {
+			t.Errorf("H extent changed: %v", s.Out)
+		}
+	}
+	if total != g.Layer(c).OutShape.Elems() {
+		t.Errorf("W partition does not cover the output")
+	}
+}
+
+func TestOwnerOf(t *testing.T) {
+	g, c := convGraph()
+	p := New(g, arch.Exynos2100Like())
+	plan := p.PlanLayer(g.Layer(c))
+	seen := make(map[int]bool)
+	for _, h := range []int{0, 20, 40, 63} {
+		owner := plan.OwnerOf(h, 0, 0)
+		if owner < 0 {
+			t.Errorf("row %d unowned", h)
+		}
+		seen[owner] = true
+	}
+	if len(seen) < 2 {
+		t.Error("expected multiple owners across rows")
+	}
+	if plan.OwnerOf(64, 0, 0) != -1 {
+		t.Error("out-of-range coordinate has an owner")
+	}
+}
+
+func TestHaloAndLocalBytes(t *testing.T) {
+	// Two stacked convs, both spatial: consumer's input needs one halo
+	// row from each neighbouring core.
+	g := graph.New("t", tensor.Int8)
+	in := g.Input("input", tensor.NewShape(60, 60, 16))
+	c1 := g.MustAdd("c1", ops.NewConv2D(3, 3, 1, 1, 16,
+		ops.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), in)
+	c2 := g.MustAdd("c2", ops.NewConv2D(3, 3, 1, 1, 16,
+		ops.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), c1)
+	p := New(g, arch.Exynos2100Like())
+	prod := p.PlanLayer(g.Layer(c1))
+	cons := p.PlanLayer(g.Layer(c2))
+	if prod.Direction != DirSpatialH || cons.Direction != DirSpatialH {
+		t.Fatalf("directions = %v,%v", prod.Direction, cons.Direction)
+	}
+	for i, s := range cons.Subs {
+		if s.Empty() {
+			continue
+		}
+		halo := HaloBytes(&prod, s.In[0], i, tensor.Int8)
+		local := LocalBytes(&prod, s.In[0], i, tensor.Int8)
+		if halo+local != s.In[0].Bytes(tensor.Int8) {
+			t.Errorf("core %d: halo %d + local %d != in %d", i, halo, local, s.In[0].Bytes(tensor.Int8))
+		}
+		if local == 0 {
+			t.Errorf("core %d: expected local reuse", i)
+		}
+		// Middle core needs halo from both sides; edges from one.
+		if i == 1 && halo != 2*60*16 {
+			t.Errorf("middle core halo = %d bytes, want %d", halo, 2*60*16)
+		}
+	}
+	// Producer that is a graph input contributes no halo.
+	if HaloBytes(&Plan{}, cons.Subs[0].In[0], 0, tensor.Int8) != 0 {
+		t.Error("nil-sub producer must have zero halo")
+	}
+}
+
+func TestConvMethodsTable1(t *testing.T) {
+	ms := ConvMethods()
+	if len(ms) != 4 {
+		t.Fatalf("methods = %d, want 4", len(ms))
+	}
+	preferred := 0
+	for _, m := range ms {
+		if m.Preferred {
+			preferred++
+			if m.ExtraCommComp != "none" {
+				t.Errorf("%s: preferred method has extra stage %q", m.Name, m.ExtraCommComp)
+			}
+		} else if m.ExtraCommComp != "partial sum reduction" {
+			t.Errorf("%s: dispreferred method missing reduction stage", m.Name)
+		}
+	}
+	if preferred != 2 {
+		t.Errorf("preferred = %d, want 2", preferred)
+	}
+	if ms[0].Direction != DirSpatialH || ms[2].Direction != DirChannel {
+		t.Error("preferred directions wrong")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Adaptive.String() != "adaptive" || ForceSpatial.String() != "spatial" || ForceChannel.String() != "channel" {
+		t.Error("mode names wrong")
+	}
+}
+
+// Property: for any conv geometry, PlanLayer's sub-layer outputs
+// exactly tile the layer output (cover, no overlap) and every
+// non-empty sub has inputs within bounds.
+func TestPlanCoversOutput(t *testing.T) {
+	a := arch.Exynos2100Like()
+	f := func(h, w, c, k, outC uint8) bool {
+		H := int(h%60) + 4
+		W := int(w%60) + 4
+		C := int(c%64) + 1
+		K := []int{1, 3, 5}[int(k)%3]
+		OC := int(outC%128) + 1
+		g := graph.New("q", tensor.Int8)
+		in := g.Input("input", tensor.NewShape(H, W, C))
+		pad := K / 2
+		id, err := g.Add("conv", ops.NewConv2D(K, K, 1, 1, OC,
+			ops.Padding{Top: pad, Bottom: pad, Left: pad, Right: pad}), in)
+		if err != nil {
+			return true
+		}
+		l := g.Layer(id)
+		plan := New(g, a).PlanLayer(l)
+		var total int64
+		inWhole := tensor.WholeRegion(tensor.NewShape(H, W, C))
+		for i, s := range plan.Subs {
+			total += s.Out.Elems()
+			if s.Empty() {
+				continue
+			}
+			if !tensor.WholeRegion(l.OutShape).Contains(s.Out) {
+				return false
+			}
+			if !inWhole.Contains(s.In[0]) {
+				return false
+			}
+			for j := i + 1; j < len(plan.Subs); j++ {
+				if !plan.Subs[j].Empty() && s.Out.Overlaps(plan.Subs[j].Out) {
+					return false
+				}
+			}
+		}
+		return total == l.OutShape.Elems()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MACs across subs equals the whole layer's MACs (partition
+// conserves compute except halo redundancy, which PlanLayer does not
+// introduce — strata do).
+func TestPlanConservesMACs(t *testing.T) {
+	f := func(h, c uint8) bool {
+		H := int(h%50) + 8
+		C := int(c%32) + 1
+		g := graph.New("q", tensor.Int8)
+		in := g.Input("input", tensor.NewShape(H, H, C))
+		id := g.MustAdd("conv", ops.NewConv2D(3, 3, 1, 1, 32,
+			ops.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), in)
+		l := g.Layer(id)
+		plan := New(g, arch.Exynos2100Like()).PlanLayer(l)
+		var total int64
+		for _, s := range plan.Subs {
+			total += s.MACs
+		}
+		return total == l.Op.MACs(l.OutShape, g.InShapes(l))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,188 @@
+// Package randgraph generates random, valid layer graphs over the full
+// operator set. The integration tests compile these under every
+// configuration and validate the results bit-exactly against the
+// reference executor — a fuzzing harness for the compiler's region
+// arithmetic.
+package randgraph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// Params bounds the generated graph.
+type Params struct {
+	// MaxLayers bounds the number of generated layers (default 12).
+	MaxLayers int
+	// MaxHW bounds the input spatial extent (default 48, min 16).
+	MaxHW int
+	// MaxC bounds channel widths (default 32).
+	MaxC int
+	// DType is the element type (default Int8).
+	DType tensor.DType
+}
+
+func (p *Params) defaults() {
+	if p.MaxLayers == 0 {
+		p.MaxLayers = 12
+	}
+	if p.MaxHW == 0 {
+		p.MaxHW = 48
+	}
+	if p.MaxC == 0 {
+		p.MaxC = 32
+	}
+}
+
+// New generates a random graph from seed. The same seed always yields
+// the same graph.
+func New(seed int64, p Params) *graph.Graph {
+	p.defaults()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(fmt.Sprintf("rand%d", seed), p.DType)
+
+	h := 16 + rng.Intn(p.MaxHW-15)
+	w := 16 + rng.Intn(p.MaxHW-15)
+	c := 1 + rng.Intn(p.MaxC)
+	cur := g.Input("input", tensor.NewShape(h, w, c))
+
+	// live holds layers whose outputs are still available for use as
+	// secondary inputs (same shape required for Add).
+	var live []graph.LayerID
+	live = append(live, cur)
+
+	n := 3 + rng.Intn(p.MaxLayers-2)
+	for i := 0; i < n; i++ {
+		cur = addRandomLayer(g, rng, cur, live, i, p)
+		live = append(live, cur)
+	}
+	return g
+}
+
+// addRandomLayer appends one random layer consuming cur (and possibly
+// an older same-shape layer).
+func addRandomLayer(g *graph.Graph, rng *rand.Rand, cur graph.LayerID, live []graph.LayerID, i int, p Params) graph.LayerID {
+	name := fmt.Sprintf("l%d", i)
+	s := g.Layer(cur).OutShape
+
+	// Candidate ops weighted toward convolutions.
+	type gen func() (ops.Op, []graph.LayerID, bool)
+	k := 1 + 2*rng.Intn(2) // 1 or 3
+	stride := 1
+	if rng.Intn(4) == 0 && s.H >= 8 && s.W >= 8 {
+		stride = 2
+	}
+	pad := ops.SamePad(s, k, k, stride, stride, 1, 1)
+	outC := (1 + rng.Intn(p.MaxC/4)) * 4
+
+	gens := []gen{
+		func() (ops.Op, []graph.LayerID, bool) {
+			return ops.NewConv2D(k, k, stride, stride, outC, pad), []graph.LayerID{cur}, true
+		},
+		func() (ops.Op, []graph.LayerID, bool) {
+			return ops.NewConv2D(k, k, stride, stride, outC, pad), []graph.LayerID{cur}, true
+		},
+		func() (ops.Op, []graph.LayerID, bool) {
+			return ops.NewDepthwiseConv2D(k, k, stride, stride, pad), []graph.LayerID{cur}, true
+		},
+		func() (ops.Op, []graph.LayerID, bool) {
+			fs := []ops.ActFunc{ops.ReLU, ops.ReLU6, ops.Sigmoid, ops.HSwish, ops.TanH}
+			return ops.Activation{Func: fs[rng.Intn(len(fs))]}, []graph.LayerID{cur}, true
+		},
+		func() (ops.Op, []graph.LayerID, bool) {
+			if s.H < 4 || s.W < 4 {
+				return nil, nil, false
+			}
+			return ops.MaxPool2D{KH: 2, KW: 2, StrideH: 2, StrideW: 2}, []graph.LayerID{cur}, true
+		},
+		func() (ops.Op, []graph.LayerID, bool) {
+			if s.H < 4 || s.W < 4 {
+				return nil, nil, false
+			}
+			return ops.AvgPool2D{KH: 3, KW: 3, StrideH: 1, StrideW: 1,
+				Pad: ops.SamePad(s, 3, 3, 1, 1, 1, 1)}, []graph.LayerID{cur}, true
+		},
+		func() (ops.Op, []graph.LayerID, bool) {
+			// Residual add with an older same-shape layer.
+			for _, cand := range live {
+				if cand != cur && g.Layer(cand).OutShape == s {
+					return ops.Add{Arity: 2}, []graph.LayerID{cand, cur}, true
+				}
+			}
+			return nil, nil, false
+		},
+		func() (ops.Op, []graph.LayerID, bool) {
+			// Concat with an older spatially matching layer.
+			for _, cand := range live {
+				cs := g.Layer(cand).OutShape
+				if cand != cur && cs.H == s.H && cs.W == s.W && cs.C+s.C <= 2*p.MaxC {
+					return ops.Concat{Arity: 2}, []graph.LayerID{cand, cur}, true
+				}
+			}
+			return nil, nil, false
+		},
+		func() (ops.Op, []graph.LayerID, bool) {
+			if s.H > p.MaxHW/2 || s.W > p.MaxHW/2 {
+				return nil, nil, false
+			}
+			mode := ops.Nearest
+			if rng.Intn(2) == 0 {
+				mode = ops.Bilinear
+			}
+			return ops.Resize{ScaleH: 2, ScaleW: 2, Mode: mode}, []graph.LayerID{cur}, true
+		},
+		func() (ops.Op, []graph.LayerID, bool) {
+			if s.H < 6 || s.W < 6 {
+				return nil, nil, false
+			}
+			return ops.Crop{Top: 1, Bottom: 1, Left: 1, Right: 1}, []graph.LayerID{cur}, true
+		},
+		func() (ops.Op, []graph.LayerID, bool) {
+			if s.H < 4 || s.W < 4 {
+				return nil, nil, false
+			}
+			return ops.TransposeConv2D{KH: 2, KW: 2, StrideH: 2, StrideW: 2, OutC: outC}, []graph.LayerID{cur}, true
+		},
+		func() (ops.Op, []graph.LayerID, bool) {
+			// Grouped convolution: groups dividing both channel counts.
+			if s.C%4 != 0 {
+				return nil, nil, false
+			}
+			oc := ((1 + rng.Intn(p.MaxC/4)) * 4)
+			return ops.Conv2D{KH: k, KW: k, StrideH: 1, StrideW: 1, DilH: 1, DilW: 1,
+				Pad: ops.SamePad(s, k, k, 1, 1, 1, 1), OutC: oc, Groups: 4}, []graph.LayerID{cur}, true
+		},
+		func() (ops.Op, []graph.LayerID, bool) {
+			if s.C < 4 {
+				return nil, nil, false
+			}
+			from := rng.Intn(s.C / 2)
+			to := from + 1 + rng.Intn(s.C-from-1)
+			return ops.ChannelSlice{From: from, To: to}, []graph.LayerID{cur}, true
+		},
+		func() (ops.Op, []graph.LayerID, bool) {
+			if s.C%2 != 0 || s.C < 4 {
+				return nil, nil, false
+			}
+			return ops.ChannelShuffle{Groups: 2}, []graph.LayerID{cur}, true
+		},
+	}
+
+	for tries := 0; tries < 20; tries++ {
+		op, inputs, ok := gens[rng.Intn(len(gens))]()
+		if !ok {
+			continue
+		}
+		id, err := g.Add(name, op, inputs...)
+		if err != nil {
+			continue // geometry mismatch; try another op
+		}
+		return id
+	}
+	// Fallback: an activation always works.
+	return g.MustAdd(name, ops.Activation{Func: ops.ReLU}, cur)
+}

@@ -1,0 +1,128 @@
+// Package randgraph's tests are the compiler's fuzzing harness: many
+// random graphs, every configuration, every result validated
+// bit-exactly against the reference executor and structurally against
+// the program validator.
+package randgraph
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/sim"
+	"repro/internal/tiling"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := New(42, Params{})
+	b := New(42, Params{})
+	if a.Len() != b.Len() {
+		t.Fatalf("same seed, different sizes: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		la, lb := a.Layers()[i], b.Layers()[i]
+		if la.Name != lb.Name || la.OutShape != lb.OutShape {
+			t.Fatalf("layer %d differs: %v vs %v", i, la, lb)
+		}
+	}
+	c := New(43, Params{})
+	if c.Len() == a.Len() && fmt.Sprint(c.Layers()) == fmt.Sprint(a.Layers()) {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestGeneratedGraphsValid(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		g := New(seed, Params{})
+		if err := g.Validate(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestFuzzCompileSimulateValidate is the heavyweight end-to-end fuzz
+// pass: random graphs x configurations x architectures, with program
+// validation, simulation to completion, and bit-exact numeric checks.
+func TestFuzzCompileSimulateValidate(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	archs := []*arch.Arch{arch.SingleCore(), arch.Exynos2100Like(), arch.Homogeneous(4)}
+	opts := []core.Options{core.Base(), core.Halo(), core.Stratum()}
+
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		g := New(seed, Params{})
+		ref, err := exec.RunReference(g)
+		if err != nil {
+			t.Fatalf("seed %d: reference: %v", seed, err)
+		}
+		for _, a := range archs {
+			for _, opt := range opts {
+				name := fmt.Sprintf("seed%d/%s/%s", seed, a.Name, opt.Name())
+				res, err := core.Compile(g, a, opt)
+				if err != nil {
+					t.Errorf("%s: compile: %v", name, err)
+					continue
+				}
+				out, err := sim.Run(res.Program, sim.Config{})
+				if err != nil {
+					t.Errorf("%s: sim: %v", name, err)
+					continue
+				}
+				if out.Stats.TotalCycles <= 0 {
+					t.Errorf("%s: zero latency", name)
+				}
+				// All compute must be accounted: every layer's MACs
+				// (with stratum redundancy) appear in the program.
+				var macs int64
+				for c := range res.Program.Cores {
+					macs += res.Program.TotalMACs(c)
+				}
+				if macs < g.TotalMACs() {
+					t.Errorf("%s: program MACs %d < graph %d", name, macs, g.TotalMACs())
+				}
+				if err := exec.ValidatePartitioned(g, res.Plans, ref); err != nil {
+					t.Errorf("%s: partition validation: %v", name, err)
+				}
+				if err := exec.ValidateStrata(g, res.Plans, res.Strata, ref); err != nil {
+					t.Errorf("%s: strata validation: %v", name, err)
+				}
+			}
+			// Tiling validation once per arch (configuration-independent).
+			res, err := core.Compile(g, a, core.Base())
+			if err != nil {
+				continue
+			}
+			if err := exec.ValidateTiled(g, res.Plans, tiling.New(a), ref); err != nil {
+				t.Errorf("seed%d/%s: tiling validation: %v", seed, a.Name, err)
+			}
+		}
+	}
+}
+
+// TestFuzzSimulatorDeterministic verifies that the full pipeline is
+// reproducible: identical latency on repeated runs.
+func TestFuzzSimulatorDeterministic(t *testing.T) {
+	g := New(7, Params{})
+	a := arch.Exynos2100Like()
+	res, err := core.Compile(g, a, core.Stratum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := sim.Run(res.Program, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := sim.Run(res.Program, sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Stats.TotalCycles != first.Stats.TotalCycles {
+			t.Fatalf("run %d: latency %.0f != %.0f", i, again.Stats.TotalCycles, first.Stats.TotalCycles)
+		}
+	}
+}

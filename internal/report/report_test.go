@@ -1,0 +1,91 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/models"
+)
+
+func compiled(t *testing.T) (*core.Result, func() *bytes.Buffer) {
+	t.Helper()
+	g := models.TinyCNN()
+	res, err := core.Compile(g, arch.Exynos2100Like(), core.Stratum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, func() *bytes.Buffer { return &bytes.Buffer{} }
+}
+
+func TestLayersTable(t *testing.T) {
+	g := models.TinyCNN()
+	res, err := core.Compile(g, arch.Exynos2100Like(), core.Stratum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Layers(&buf, g, res); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"conv1", "direction", "MMACs", "spatial", "h1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("layers table missing %q:\n%s", want, s)
+		}
+	}
+	// One row per non-input layer.
+	rows := strings.Count(s, "\n") - 1
+	if rows != g.Len()-1 {
+		t.Errorf("rows = %d, want %d", rows, g.Len()-1)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := models.ConvChain(4, 48, 48, 8)
+	res, err := core.Compile(g, arch.Exynos2100Like(), core.Stratum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := DOT(&buf, g, res); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "digraph") || !strings.HasSuffix(strings.TrimSpace(s), "}") {
+		t.Error("not a digraph")
+	}
+	// Edges for every graph edge.
+	edges := strings.Count(s, "->")
+	want := 0
+	for _, l := range g.Layers() {
+		want += len(l.Inputs)
+	}
+	if edges != want {
+		t.Errorf("edges = %d, want %d", edges, want)
+	}
+	// The chain forms a stratum cluster.
+	if !strings.Contains(s, "cluster_stratum") {
+		t.Error("no stratum cluster in DOT output")
+	}
+	if !strings.Contains(s, "lightblue") {
+		t.Error("no direction coloring")
+	}
+}
+
+func TestInstrSummary(t *testing.T) {
+	res, _ := compiled(t)
+	m := InstrSummary(res.Program)
+	if m["comp"] == 0 || m["ld"] == 0 {
+		t.Errorf("summary = %v", m)
+	}
+	total := 0
+	for _, n := range m {
+		total += n
+	}
+	if total != res.Program.NumInstrs() {
+		t.Errorf("summary total %d != %d", total, res.Program.NumInstrs())
+	}
+}

@@ -1,0 +1,192 @@
+// Package schedule implements the layer execution scheduler of the
+// paper's Algorithm 1: a topological order that follows the successor
+// (depth-first) when the current layer is spatially partitioned — so
+// feature-map forwarding, halo-exchange, and stratum construction can
+// exploit data reuse — and otherwise switches to a sibling layer,
+// extending the span between synchronization points (the
+// breadth-first advantage).
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Scheduler orders the layers of a graph.
+type Scheduler struct {
+	Graph *graph.Graph
+	// SpatialPartitioning reports whether the layer will be spatially
+	// partitioned (the spatial_partitioning() predicate of Algorithm
+	// 1, implemented by the partitioner's h1–h5 heuristics). A nil
+	// predicate treats every layer as spatial, which degenerates to
+	// depth-first order.
+	SpatialPartitioning func(*graph.Layer) bool
+}
+
+// New returns a scheduler using pred as the spatial-partitioning
+// predicate.
+func New(g *graph.Graph, pred func(*graph.Layer) bool) *Scheduler {
+	return &Scheduler{Graph: g, SpatialPartitioning: pred}
+}
+
+// Order returns the execution order of all layers (graph inputs
+// included, first) following Algorithm 1.
+func (s *Scheduler) Order() []graph.LayerID {
+	g := s.Graph
+	n := g.Len()
+	indeg := make([]int, n)
+	for _, l := range g.Layers() {
+		indeg[l.ID] = len(l.Inputs)
+	}
+
+	// ready holds schedulable layers in arrival order; arrival order
+	// approximates the depth-first traversal tree: successors of the
+	// most recently scheduled layers arrive last.
+	var ready []graph.LayerID
+	for _, l := range g.Layers() {
+		if indeg[l.ID] == 0 {
+			ready = append(ready, l.ID)
+		}
+	}
+	if len(ready) == 0 {
+		return nil
+	}
+
+	scheduled := make([]bool, n)
+	out := make([]graph.LayerID, 0, n)
+
+	remove := func(id graph.LayerID) {
+		for i, r := range ready {
+			if r == id {
+				ready = append(ready[:i], ready[i+1:]...)
+				return
+			}
+		}
+	}
+
+	isSucc := func(cur, cand graph.LayerID) bool {
+		for _, u := range g.Users(cur) {
+			if u == cand {
+				return true
+			}
+		}
+		return false
+	}
+
+	cur := ready[0]
+	for {
+		// Schedule the current layer.
+		out = append(out, cur)
+		scheduled[cur] = true
+		remove(cur)
+		for _, u := range g.Users(cur) {
+			indeg[u]--
+			if indeg[u] == 0 {
+				ready = append(ready, u)
+			}
+		}
+		if len(ready) == 0 {
+			break
+		}
+
+		// get_succ: the first ready direct successor of cur.
+		succ := graph.LayerID(-1)
+		for _, r := range ready {
+			if isSucc(cur, r) {
+				succ = r
+				break
+			}
+		}
+		// get_sibling: the most recently readied layer that does not
+		// depend on cur (a sibling or an ancestor's sibling in the
+		// depth-first traversal tree).
+		sibling := graph.LayerID(-1)
+		for i := len(ready) - 1; i >= 0; i-- {
+			if !isSucc(cur, ready[i]) {
+				sibling = ready[i]
+				break
+			}
+		}
+
+		switch {
+		case succ >= 0 && sibling >= 0:
+			if s.spatial(cur) {
+				cur = succ // reuse the forwarded feature map
+			} else {
+				cur = sibling // widen the span between syncs
+			}
+		case succ >= 0:
+			cur = succ
+		case sibling >= 0:
+			cur = sibling
+		default:
+			cur = ready[0]
+		}
+	}
+	return out
+}
+
+func (s *Scheduler) spatial(id graph.LayerID) bool {
+	if s.SpatialPartitioning == nil {
+		return true
+	}
+	return s.SpatialPartitioning(s.Graph.Layer(id))
+}
+
+// DepthFirst returns a pure depth-first topological order (always
+// follow a ready successor), the order Figure 6(a) illustrates.
+func DepthFirst(g *graph.Graph) []graph.LayerID {
+	return New(g, func(*graph.Layer) bool { return true }).Order()
+}
+
+// BreadthFirst returns a level-order (FIFO) topological order, the
+// order Figure 6(b) illustrates.
+func BreadthFirst(g *graph.Graph) []graph.LayerID {
+	n := g.Len()
+	indeg := make([]int, n)
+	for _, l := range g.Layers() {
+		indeg[l.ID] = len(l.Inputs)
+	}
+	var queue []graph.LayerID
+	for _, l := range g.Layers() {
+		if indeg[l.ID] == 0 {
+			queue = append(queue, l.ID)
+		}
+	}
+	out := make([]graph.LayerID, 0, n)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		out = append(out, cur)
+		for _, u := range g.Users(cur) {
+			indeg[u]--
+			if indeg[u] == 0 {
+				queue = append(queue, u)
+			}
+		}
+	}
+	return out
+}
+
+// Verify checks that order is a complete topological order of g.
+func Verify(g *graph.Graph, order []graph.LayerID) error {
+	if len(order) != g.Len() {
+		return fmt.Errorf("schedule: order has %d layers, graph has %d", len(order), g.Len())
+	}
+	pos := make(map[graph.LayerID]int, len(order))
+	for i, id := range order {
+		if _, dup := pos[id]; dup {
+			return fmt.Errorf("schedule: layer %d appears twice", id)
+		}
+		pos[id] = i
+	}
+	for _, l := range g.Layers() {
+		for _, in := range l.Inputs {
+			if pos[in] > pos[l.ID] {
+				return fmt.Errorf("schedule: layer %d scheduled before its input %d", l.ID, in)
+			}
+		}
+	}
+	return nil
+}

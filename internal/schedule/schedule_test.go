@@ -1,0 +1,156 @@
+package schedule
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// branchy builds:
+//
+//	input -> a -> b -> d
+//	          \-> c -/   (a has two users b, c; d = add(b, c))
+func branchy() *graph.Graph {
+	g := graph.New("branchy", tensor.Int8)
+	in := g.Input("input", tensor.NewShape(16, 16, 8))
+	a := g.MustAdd("a", ops.Activation{Func: ops.ReLU}, in)
+	b := g.MustAdd("b", ops.NewConv2D(1, 1, 1, 1, 8, ops.Padding{}), a)
+	c := g.MustAdd("c", ops.NewConv2D(3, 3, 1, 1, 8,
+		ops.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), a)
+	g.MustAdd("d", ops.Add{Arity: 2}, b, c)
+	return g
+}
+
+func TestOrderIsTopological(t *testing.T) {
+	g := branchy()
+	order := New(g, nil).Order()
+	if err := Verify(g, order); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDepthFirstFollowsSuccessor(t *testing.T) {
+	g := branchy()
+	order := DepthFirst(g)
+	if err := Verify(g, order); err != nil {
+		t.Fatal(err)
+	}
+	// Depth-first from input: input, a, then one branch then the other.
+	names := orderNames(g, order)
+	if names[0] != "input" || names[1] != "a" {
+		t.Errorf("order = %v", names)
+	}
+}
+
+func TestBreadthFirst(t *testing.T) {
+	g := branchy()
+	order := BreadthFirst(g)
+	if err := Verify(g, order); err != nil {
+		t.Fatal(err)
+	}
+	names := orderNames(g, order)
+	// BFS: b and c are adjacent, both before d.
+	if names[2] != "b" || names[3] != "c" {
+		t.Errorf("order = %v", names)
+	}
+}
+
+func TestSiblingPreferredWhenNotSpatial(t *testing.T) {
+	// Two independent chains from one input. With a never-spatial
+	// predicate, after scheduling x1 the scheduler must jump to the
+	// sibling chain (y1) instead of following x2.
+	g := graph.New("twochain", tensor.Int8)
+	in := g.Input("input", tensor.NewShape(16, 16, 8))
+	x1 := g.MustAdd("x1", ops.Activation{Func: ops.ReLU}, in)
+	g.MustAdd("x2", ops.Activation{Func: ops.ReLU}, x1)
+	y1 := g.MustAdd("y1", ops.Activation{Func: ops.ReLU6}, in)
+	g.MustAdd("y2", ops.Activation{Func: ops.ReLU6}, y1)
+
+	never := func(*graph.Layer) bool { return false }
+	order := New(g, never).Order()
+	if err := Verify(g, order); err != nil {
+		t.Fatal(err)
+	}
+	names := orderNames(g, order)
+	// After input, the two chain heads should alternate with the
+	// sibling policy: x1, y1 (or y1, x1), not x1, x2.
+	if names[1] == "x1" && names[2] == "x2" {
+		t.Errorf("sibling policy not applied: %v", names)
+	}
+	if names[1] == "y1" && names[2] == "y2" {
+		t.Errorf("sibling policy not applied: %v", names)
+	}
+
+	// With an always-spatial predicate the successor is followed.
+	always := func(*graph.Layer) bool { return true }
+	order2 := New(g, always).Order()
+	names2 := orderNames(g, order2)
+	if !(names2[1] == "x1" && names2[2] == "x2") && !(names2[1] == "y1" && names2[2] == "y2") {
+		t.Errorf("successor policy not applied: %v", names2)
+	}
+}
+
+func TestEmptyGraphOrder(t *testing.T) {
+	g := graph.New("empty", tensor.Int8)
+	if got := New(g, nil).Order(); got != nil {
+		t.Errorf("empty graph order = %v", got)
+	}
+}
+
+func TestVerifyCatchesErrors(t *testing.T) {
+	g := branchy()
+	order := DepthFirst(g)
+	if err := Verify(g, order[:3]); err == nil {
+		t.Error("short order accepted")
+	}
+	bad := append([]graph.LayerID(nil), order...)
+	bad[0], bad[len(bad)-1] = bad[len(bad)-1], bad[0]
+	if err := Verify(g, bad); err == nil {
+		t.Error("non-topological order accepted")
+	}
+	dup := append([]graph.LayerID(nil), order...)
+	dup[1] = dup[0]
+	if err := Verify(g, dup); err == nil {
+		t.Error("duplicated order accepted")
+	}
+}
+
+func orderNames(g *graph.Graph, order []graph.LayerID) []string {
+	names := make([]string, len(order))
+	for i, id := range order {
+		names[i] = g.Layer(id).Name
+	}
+	return names
+}
+
+// Property: for random layered DAGs, Algorithm 1 with a random spatial
+// predicate always yields a complete topological order.
+func TestOrderAlwaysTopological(t *testing.T) {
+	f := func(widths [4]uint8, pred uint8) bool {
+		g := graph.New("rand", tensor.Int8)
+		prev := []graph.LayerID{g.Input("input", tensor.NewShape(8, 8, 4))}
+		name := 0
+		for _, wRaw := range widths {
+			w := int(wRaw%3) + 1
+			var level []graph.LayerID
+			for j := 0; j < w; j++ {
+				src := prev[(int(wRaw)+j)%len(prev)]
+				name++
+				id := g.MustAdd(
+					string(rune('a'+name%26))+string(rune('0'+name/26)),
+					ops.Activation{Func: ops.ReLU}, src)
+				level = append(level, id)
+			}
+			prev = level
+		}
+		p := func(l *graph.Layer) bool { return (int(pred)+int(l.ID))%2 == 0 }
+		order := New(g, p).Order()
+		return Verify(g, order) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,114 @@
+package serialize
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/models"
+	"repro/internal/randgraph"
+	"repro/internal/sim"
+)
+
+func TestGraphRoundTrip(t *testing.T) {
+	// Random graphs cover the whole operator set over enough seeds.
+	for seed := int64(0); seed < 10; seed++ {
+		g := randgraph.New(seed, randgraph.Params{})
+		var buf bytes.Buffer
+		if err := SaveGraph(&buf, g); err != nil {
+			t.Fatalf("seed %d: save: %v", seed, err)
+		}
+		g2, err := LoadGraph(&buf)
+		if err != nil {
+			t.Fatalf("seed %d: load: %v", seed, err)
+		}
+		if g2.Len() != g.Len() || g2.Name != g.Name {
+			t.Fatalf("seed %d: structure mismatch", seed)
+		}
+		for i := 0; i < g.Len(); i++ {
+			a, b := g.Layers()[i], g2.Layers()[i]
+			if a.Name != b.Name || a.OutShape != b.OutShape || a.DType != b.DType ||
+				a.Op.String() != b.Op.String() {
+				t.Fatalf("seed %d layer %d: %v != %v", seed, i, a, b)
+			}
+		}
+		// The round-tripped graph computes identical values.
+		ref1, err := exec.RunReference(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref2, err := exec.RunReference(g2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id, tensor1 := range ref1 {
+			if !tensor1.Equal(ref2[id]) {
+				t.Fatalf("seed %d: layer %d values differ after round trip", seed, id)
+			}
+		}
+	}
+}
+
+func TestGraphRoundTripBenchmarkModels(t *testing.T) {
+	for _, m := range models.All() {
+		g := m.Build()
+		var buf bytes.Buffer
+		if err := SaveGraph(&buf, g); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		g2, err := LoadGraph(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if g2.TotalMACs() != g.TotalMACs() || g2.TotalKernelBytes() != g.TotalKernelBytes() {
+			t.Errorf("%s: cost totals changed after round trip", m.Name)
+		}
+	}
+}
+
+func TestProgramRoundTripSimulatesIdentically(t *testing.T) {
+	g := models.TinyCNN()
+	a := arch.Exynos2100Like()
+	res, err := core.Compile(g, a, core.Stratum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveProgram(&buf, res.Program); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := LoadProgram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1, err := sim.Run(res.Program, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := sim.Run(p2, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1.Stats.TotalCycles != out2.Stats.TotalCycles {
+		t.Errorf("latency changed after round trip: %.0f != %.0f",
+			out1.Stats.TotalCycles, out2.Stats.TotalCycles)
+	}
+	if out1.Stats.TotalBytes() != out2.Stats.TotalBytes() {
+		t.Error("traffic changed after round trip")
+	}
+}
+
+func TestLoadRejectsCorruptInput(t *testing.T) {
+	if _, err := LoadGraph(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadGraph(strings.NewReader(`{"name":"x","layers":[{"name":"a","op":{"kind":"Nope","attr":{}}}]}`)); err == nil {
+		t.Error("unknown op kind accepted")
+	}
+	if _, err := LoadProgram(strings.NewReader(`{}`)); err == nil {
+		t.Error("empty program accepted")
+	}
+}

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/models"
+)
+
+func TestRepeatValid(t *testing.T) {
+	g := models.TinyCNN()
+	res, err := core.Compile(g, arch.Exynos2100Like(), core.Stratum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Repeat(res.Program, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumInstrs() != 4*res.Program.NumInstrs() {
+		t.Errorf("instrs = %d, want %d", rep.NumInstrs(), 4*res.Program.NumInstrs())
+	}
+	if rep.NumBarriers != 4*res.Program.NumBarriers {
+		t.Errorf("barriers = %d", rep.NumBarriers)
+	}
+	if _, err := Repeat(res.Program, 0); err == nil {
+		t.Error("zero repeat accepted")
+	}
+	one, err := Repeat(res.Program, 1)
+	if err != nil || one != res.Program {
+		t.Error("n=1 must return the program unchanged")
+	}
+}
+
+func TestThroughputBeatsLatency(t *testing.T) {
+	// Steady-state period must be at most the single-shot latency:
+	// iteration i+1's loads overlap iteration i's tail.
+	g := models.TinyCNN()
+	res, err := core.Compile(g, arch.Exynos2100Like(), core.Stratum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Run(res.Program, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	period, batch, err := Throughput(res.Program, 6, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if period > single.Stats.TotalCycles+1 {
+		t.Errorf("period %.0f > single-shot latency %.0f", period, single.Stats.TotalCycles)
+	}
+	if batch.Stats.TotalCycles <= single.Stats.TotalCycles {
+		t.Error("batch finished faster than one inference")
+	}
+	// Total work scales exactly with the batch size.
+	if batch.Stats.TotalMACs() != 6*single.Stats.TotalMACs() {
+		t.Errorf("batch MACs %d != 6x single %d", batch.Stats.TotalMACs(), single.Stats.TotalMACs())
+	}
+}

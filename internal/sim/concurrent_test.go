@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/models"
+)
+
+// compileOn compiles g for a subset of the global architecture.
+func compileOn(t *testing.T, g *graph.Graph, global *arch.Arch, cores []int) Placement {
+	t.Helper()
+	sub, err := global.Subset(cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Compile(g, sub, core.Halo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Placement{Program: res.Program, Cores: cores}
+}
+
+func TestConcurrentTwoNetworks(t *testing.T) {
+	global := arch.Exynos2100Like()
+	g1 := models.TinyCNN()
+	g2 := models.ConvChain(4, 48, 48, 16)
+
+	p1 := compileOn(t, g1, global, []int{0})
+	p2 := compileOn(t, g2, global, []int{1, 2})
+
+	out, err := RunConcurrent(global, []Placement{p1, p2}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Stats.ProgramCycles) != 2 {
+		t.Fatalf("program cycles = %v", out.Stats.ProgramCycles)
+	}
+	for i, pc := range out.Stats.ProgramCycles {
+		if pc <= 0 {
+			t.Errorf("program %d never finished", i)
+		}
+		if pc > out.Stats.TotalCycles {
+			t.Errorf("program %d finish %.0f beyond total %.0f", i, pc, out.Stats.TotalCycles)
+		}
+	}
+	// Every core computed something.
+	for c, cs := range out.Stats.PerCore {
+		if cs.MACs <= 0 {
+			t.Errorf("core %d executed no MACs", c)
+		}
+	}
+}
+
+func TestConcurrentMatchesIsolatedWhenBusIsAmple(t *testing.T) {
+	// With an effectively infinite bus, co-running programs on
+	// disjoint cores must finish exactly as fast as running alone.
+	global := arch.Exynos2100Like()
+	global.BusBytesPerCycle = 1e9
+	g1 := models.TinyCNN()
+	g2 := models.ConvChain(4, 48, 48, 16)
+	p1 := compileOn(t, g1, global, []int{0})
+	p2 := compileOn(t, g2, global, []int{1, 2})
+
+	alone1, err := Run(p1.Program, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alone2, err := Run(p2.Program, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := RunConcurrent(global, []Placement{p1, p2}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := both.Stats.ProgramCycles[0] - alone1.Stats.TotalCycles; d > 1 || d < -1 {
+		t.Errorf("program 1 concurrent %.0f != alone %.0f", both.Stats.ProgramCycles[0], alone1.Stats.TotalCycles)
+	}
+	if d := both.Stats.ProgramCycles[1] - alone2.Stats.TotalCycles; d > 1 || d < -1 {
+		t.Errorf("program 2 concurrent %.0f != alone %.0f", both.Stats.ProgramCycles[1], alone2.Stats.TotalCycles)
+	}
+}
+
+func TestConcurrentBusContentionSlowsBoth(t *testing.T) {
+	// With a narrow bus, co-running programs must be slower than when
+	// each had the bus to itself.
+	global := arch.Exynos2100Like()
+	global.BusBytesPerCycle = 8
+	g1 := models.ConvChain(3, 64, 64, 16)
+	g2 := models.ConvChain(3, 64, 64, 16)
+	p1 := compileOn(t, g1, global, []int{0})
+	p2 := compileOn(t, g2, global, []int{1, 2})
+
+	alone1, err := Run(p1.Program, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := RunConcurrent(global, []Placement{p1, p2}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.Stats.ProgramCycles[0] <= alone1.Stats.TotalCycles {
+		t.Errorf("no contention visible: concurrent %.0f <= alone %.0f",
+			both.Stats.ProgramCycles[0], alone1.Stats.TotalCycles)
+	}
+}
+
+func TestConcurrentRejectsBadPlacements(t *testing.T) {
+	global := arch.Exynos2100Like()
+	g := models.TinyCNN()
+	p := compileOn(t, g, global, []int{0})
+
+	// Overlapping cores.
+	if _, err := RunConcurrent(global, []Placement{p, p}, Config{}); err == nil {
+		t.Error("overlapping placement accepted")
+	}
+	// Out-of-range core.
+	bad := p
+	bad.Cores = []int{7}
+	if _, err := RunConcurrent(global, []Placement{bad}, Config{}); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+	// Mismatched width.
+	bad2 := p
+	bad2.Cores = []int{0, 1}
+	if _, err := RunConcurrent(global, []Placement{bad2}, Config{}); err == nil {
+		t.Error("width mismatch accepted")
+	}
+}
+
+func TestSubsetArch(t *testing.T) {
+	a := arch.Exynos2100Like()
+	sub, err := a.Subset([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumCores() != 2 {
+		t.Fatalf("cores = %d", sub.NumCores())
+	}
+	if sub.Cores[0].Name != "P2" || sub.Cores[1].Name != "P0" {
+		t.Errorf("subset order wrong: %v", sub.Cores)
+	}
+	if _, err := a.Subset(nil); err == nil {
+		t.Error("empty subset accepted")
+	}
+	if _, err := a.Subset([]int{9}); err == nil {
+		t.Error("bad index accepted")
+	}
+}

@@ -1,0 +1,529 @@
+// Package sim is a discrete-event simulator for compiled multicore-NPU
+// programs. It models, per core, three in-order engines (DMA load,
+// compute, DMA store) whose instructions overlap — the software
+// pipeline — plus inter-core barriers with the architecture's
+// synchronization cost and a shared global-memory bus with max–min
+// fair bandwidth allocation among in-flight DMA transfers.
+//
+// This simulator substitutes for the paper's Exynos 2100 silicon: all
+// compiler decisions are sensitive only to the structural parameters
+// it models (compute rate, DMA bandwidth, bus ceiling, SPM capacity,
+// barrier cost), so relative results keep their shape even though
+// absolute cycle counts are synthetic.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/plan"
+)
+
+// Event is one executed instruction interval, for traces and Gantt
+// rendering (Figure 12).
+type Event struct {
+	Core int
+	// Index is the instruction's position within its core's stream
+	// (placement-local), letting tools join events back to the program.
+	Index int
+	Op    plan.OpCode
+	Layer graph.LayerID
+	Tile  int
+	Start float64 // cycles
+	End   float64 // cycles
+	Note  string
+}
+
+// CoreStats aggregates one core's activity.
+type CoreStats struct {
+	ComputeBusy float64 // cycles the MAC array ran
+	LoadBusy    float64 // cycles the load DMA ran
+	StoreBusy   float64 // cycles the store DMA ran
+	Idle        float64 // cycles with no engine active before finish
+	SyncWait    float64 // cycles spent waiting at barriers
+	BytesLoaded int64
+	BytesStored int64
+	MACs        int64
+	Finish      float64 // completion time of the core's last instruction
+}
+
+// Stats is the outcome of one simulated run.
+type Stats struct {
+	// TotalCycles is the end-to-end latency (max over cores).
+	TotalCycles float64
+	// PerCore has one entry per core of the (global) architecture.
+	PerCore []CoreStats
+	// Barriers is the number of barrier rendezvous executed.
+	Barriers int
+	// ProgramCycles is each placed program's completion time. A
+	// single-program run has one entry equal to TotalCycles.
+	ProgramCycles []float64
+}
+
+// LatencyMicros converts the latency using the program's clock.
+func (s *Stats) LatencyMicros(clockMHz int) float64 {
+	return s.TotalCycles / float64(clockMHz)
+}
+
+// TotalMACs sums compute over cores (redundant work included).
+func (s *Stats) TotalMACs() int64 {
+	var m int64
+	for _, c := range s.PerCore {
+		m += c.MACs
+	}
+	return m
+}
+
+// TotalBytes sums DMA traffic over cores.
+func (s *Stats) TotalBytes() int64 {
+	var b int64
+	for _, c := range s.PerCore {
+		b += c.BytesLoaded + c.BytesStored
+	}
+	return b
+}
+
+// EnergyMicroJoules estimates the inference energy from the
+// architecture's per-MAC and per-DRAM-byte costs. Stratum construction
+// trades DRAM energy for MAC energy; this metric quantifies the
+// exchange. The dtype factor is folded into the recorded MAC counts'
+// compute times, so INT16 models approximate with the INT8 MAC cost
+// times two.
+func (s *Stats) EnergyMicroJoules(pjPerMAC, pjPerDRAMByte float64, int16Model bool) float64 {
+	macPJ := pjPerMAC
+	if int16Model {
+		macPJ *= 2
+	}
+	return (float64(s.TotalMACs())*macPJ + float64(s.TotalBytes())*pjPerDRAMByte) / 1e6
+}
+
+// Result bundles stats with an optional trace.
+type Result struct {
+	Stats Stats
+	Trace []Event
+}
+
+// Config controls a simulation run.
+type Config struct {
+	// CollectTrace records every instruction interval.
+	CollectTrace bool
+}
+
+const eps = 1e-6
+
+// node is the runtime state of one instruction.
+type node struct {
+	in         plan.Instr
+	deps       int // unsatisfied dependency count
+	done       bool
+	started    bool
+	start      float64
+	remaining  float64 // bytes left (DMA) — unused for compute/barrier
+	setupUntil float64 // DMA descriptor setup completes at this time
+	finish     float64 // scheduled completion (compute/barrier)
+}
+
+type engineState struct {
+	queue []int // global node ids in program order
+	pos   int   // next to issue
+	busy  int   // active node id, -1 if none
+}
+
+// barrier tracks a rendezvous.
+type barrier struct {
+	arrived  int
+	arrival  []float64 // per core arrival time, NaN until arrived
+	released bool
+	finish   float64
+	nodes    []int // node ids, per core
+}
+
+// Placement assigns a compiled program to a subset of the global
+// architecture's cores. Program core i runs on global core Cores[i];
+// the program must have been compiled for an architecture whose core
+// descriptors match (arch.Subset produces one).
+type Placement struct {
+	Program *plan.Program
+	Cores   []int
+}
+
+// Run simulates a single program occupying the whole architecture. It
+// returns an error on deadlock, which indicates a compiler bug
+// (plan.Program.Validate catches static cycles; deadlock here would
+// come from barrier misuse).
+func Run(p *plan.Program, cfg Config) (*Result, error) {
+	cores := make([]int, p.Arch.NumCores())
+	for i := range cores {
+		cores[i] = i
+	}
+	return RunConcurrent(p.Arch, []Placement{{Program: p, Cores: cores}}, cfg)
+}
+
+// RunConcurrent simulates several compiled programs sharing one
+// architecture: each occupies a disjoint core subset, and all of them
+// contend for the shared memory bus — the multicore NPU's
+// multi-network concurrency scenario.
+func RunConcurrent(a *arch.Arch, placements []Placement, cfg Config) (*Result, error) {
+	model := cost.New(a)
+	ncores := a.NumCores()
+
+	// Validate placements: disjoint cores, in range, matching widths.
+	owner := make([]int, ncores)
+	for i := range owner {
+		owner[i] = -1
+	}
+	for pi, pl := range placements {
+		if len(pl.Cores) != len(pl.Program.Cores) {
+			return nil, fmt.Errorf("sim: placement %d maps %d cores for a %d-core program",
+				pi, len(pl.Cores), len(pl.Program.Cores))
+		}
+		for _, c := range pl.Cores {
+			if c < 0 || c >= ncores {
+				return nil, fmt.Errorf("sim: placement %d core %d out of range", pi, c)
+			}
+			if owner[c] >= 0 {
+				return nil, fmt.Errorf("sim: core %d claimed by placements %d and %d", c, owner[c], pi)
+			}
+			owner[c] = pi
+		}
+	}
+
+	// Global node numbering across placements and their cores.
+	type streamKey struct{ pi, localCore int }
+	base := map[streamKey]int{}
+	total := 0
+	for pi, pl := range placements {
+		for lc := range pl.Program.Cores {
+			base[streamKey{pi, lc}] = total
+			total += len(pl.Program.Cores[lc])
+		}
+	}
+	nodes := make([]node, total)
+	dependents := make([][]int32, total)
+	coreOf := make([]int, total)  // global core
+	progOf := make([]int, total)  // placement index
+	indexOf := make([]int, total) // position within the core-local stream
+
+	engines := make([][]engineState, ncores)
+	for c := 0; c < ncores; c++ {
+		engines[c] = make([]engineState, 4)
+		for e := range engines[c] {
+			engines[c][e].busy = -1
+		}
+	}
+
+	barriers := make([][]*barrier, len(placements))
+	for pi, pl := range placements {
+		nlocal := len(pl.Cores)
+		id := func(r plan.Ref) int { return base[streamKey{pi, r.Core}] + r.Index }
+		for lc, stream := range pl.Program.Cores {
+			gcore := pl.Cores[lc]
+			for i, in := range stream {
+				n := base[streamKey{pi, lc}] + i
+				nodes[n] = node{in: in, deps: len(in.Deps)}
+				coreOf[n] = gcore
+				progOf[n] = pi
+				indexOf[n] = i
+				indexOf[n] = i
+				for _, d := range in.Deps {
+					dependents[id(d)] = append(dependents[id(d)], int32(n))
+				}
+				engines[gcore][in.Op.Engine()].queue = append(engines[gcore][in.Op.Engine()].queue, n)
+			}
+		}
+		barriers[pi] = make([]*barrier, pl.Program.NumBarriers)
+		for i := range barriers[pi] {
+			barriers[pi][i] = &barrier{arrival: make([]float64, nlocal), nodes: make([]int, nlocal)}
+			for c := range barriers[pi][i].arrival {
+				barriers[pi][i].arrival[c] = math.NaN()
+				barriers[pi][i].nodes[c] = -1
+			}
+		}
+	}
+
+	totalBarriers := 0
+	for _, bs := range barriers {
+		totalBarriers += len(bs)
+	}
+	stats := Stats{
+		PerCore:       make([]CoreStats, ncores),
+		Barriers:      totalBarriers,
+		ProgramCycles: make([]float64, len(placements)),
+	}
+	var trace []Event
+	busyIntervals := make([][][2]float64, ncores)
+
+	// localIndex maps a global core back to its placement-local index.
+	localIndex := make([]int, ncores)
+	for i := range localIndex {
+		localIndex[i] = -1
+	}
+	for _, pl := range placements {
+		for lc, c := range pl.Cores {
+			localIndex[c] = lc
+		}
+	}
+
+	now := 0.0
+	completed := 0
+
+	finishNode := func(nid int, t float64) {
+		n := &nodes[nid]
+		n.done = true
+		completed++
+		c := coreOf[nid]
+		st := &stats.PerCore[c]
+		dur := t - n.start
+		switch n.in.Op.Engine() {
+		case plan.EngineCompute:
+			st.ComputeBusy += dur
+			st.MACs += n.in.MACs
+		case plan.EngineLoad:
+			st.LoadBusy += dur
+			st.BytesLoaded += n.in.Bytes
+		case plan.EngineStore:
+			st.StoreBusy += dur
+			st.BytesStored += n.in.Bytes
+		case plan.EngineSync:
+			st.SyncWait += dur
+		}
+		if t > st.Finish {
+			st.Finish = t
+		}
+		if t > stats.ProgramCycles[progOf[nid]] {
+			stats.ProgramCycles[progOf[nid]] = t
+		}
+		busyIntervals[c] = append(busyIntervals[c], [2]float64{n.start, t})
+		if cfg.CollectTrace {
+			trace = append(trace, Event{
+				Core: c, Index: indexOf[nid], Op: n.in.Op, Layer: n.in.Layer, Tile: n.in.Tile,
+				Start: n.start, End: t, Note: n.in.Note,
+			})
+		}
+		es := &engines[c][n.in.Op.Engine()]
+		if es.busy == nid {
+			es.busy = -1
+		}
+		for _, d := range dependents[nid] {
+			nodes[d].deps--
+		}
+	}
+
+	// issueAll starts every instruction that can start at time now.
+	issueAll := func() {
+		progress := true
+		for progress {
+			progress = false
+			for c := 0; c < ncores; c++ {
+				for e := range engines[c] {
+					es := &engines[c][e]
+					if es.busy >= 0 || es.pos >= len(es.queue) {
+						continue
+					}
+					nid := es.queue[es.pos]
+					n := &nodes[nid]
+					if n.deps > 0 {
+						continue
+					}
+					// Issue.
+					es.pos++
+					n.started = true
+					n.start = now
+					pi := progOf[nid]
+					switch n.in.Op.Engine() {
+					case plan.EngineCompute:
+						dt := placements[pi].Program.Graph.Layer(n.in.Layer).DType
+						n.finish = now + float64(model.ComputeCycles(c, n.in.MACs, dt))
+						es.busy = nid
+					case plan.EngineLoad, plan.EngineStore:
+						n.remaining = float64(n.in.Bytes)
+						n.setupUntil = now + float64(a.DMASetupCycles)
+						es.busy = nid
+					case plan.EngineSync:
+						b := barriers[pi][n.in.BarrierID]
+						lc := localIndex[c]
+						b.arrival[lc] = now
+						b.nodes[lc] = nid
+						b.arrived++
+						es.busy = nid
+						if b.arrived == len(placements[pi].Cores) {
+							maxArr := 0.0
+							for _, arr := range b.arrival {
+								if arr > maxArr {
+									maxArr = arr
+								}
+							}
+							b.finish = maxArr + float64(a.SyncCost(len(placements[pi].Cores))) +
+								jitter(n.in.BarrierID, a.SyncJitterCycles)
+							b.released = true
+						}
+					}
+					progress = true
+				}
+			}
+		}
+	}
+
+	// activeTransfers gathers in-flight DMA channels for bandwidth
+	// allocation.
+	type channel struct {
+		nid int
+		cap float64
+	}
+	rates := make([]float64, total)
+
+	var pendingSetup []int
+	allocate := func() []channel {
+		var chans []channel  // bus-sharing DMA channels
+		var direct []channel // dedicated-interconnect halo channels
+		pendingSetup = pendingSetup[:0]
+		for c := 0; c < ncores; c++ {
+			for _, e := range []plan.Engine{plan.EngineLoad, plan.EngineStore} {
+				nid := engines[c][e].busy
+				if nid < 0 {
+					continue
+				}
+				if nodes[nid].setupUntil > now+eps {
+					pendingSetup = append(pendingSetup, nid)
+					continue
+				}
+				ch := channel{nid: nid, cap: a.Cores[c].DMABytesPerCycle}
+				op := nodes[nid].in.Op
+				if a.DirectHaloInterconnect && (op == plan.StoreHalo || op == plan.LoadHalo) {
+					direct = append(direct, ch)
+					continue
+				}
+				chans = append(chans, ch)
+			}
+		}
+		// Dedicated link: full engine rate, no bus contention.
+		for _, ch := range direct {
+			rates[ch.nid] = ch.cap
+		}
+		// Max-min fair water-filling under the bus ceiling.
+		sort.Slice(chans, func(i, j int) bool { return chans[i].cap < chans[j].cap })
+		remainingBW := a.BusBytesPerCycle
+		for i, ch := range chans {
+			share := remainingBW / float64(len(chans)-i)
+			r := math.Min(ch.cap, share)
+			rates[ch.nid] = r
+			remainingBW -= r
+		}
+		return append(chans, direct...)
+	}
+
+	for completed < total {
+		issueAll()
+		chans := allocate()
+
+		// Earliest next completion.
+		next := math.Inf(1)
+		for _, ch := range chans {
+			if r := rates[ch.nid]; r > 0 {
+				if t := now + nodes[ch.nid].remaining/r; t < next {
+					next = t
+				}
+			}
+		}
+		for _, nid := range pendingSetup {
+			if t := nodes[nid].setupUntil; t < next {
+				next = t
+			}
+		}
+		for c := 0; c < ncores; c++ {
+			if nid := engines[c][plan.EngineCompute].busy; nid >= 0 {
+				if nodes[nid].finish < next {
+					next = nodes[nid].finish
+				}
+			}
+		}
+		for _, bs := range barriers {
+			for _, b := range bs {
+				if b.released && !nodes[b.nodes[0]].done && b.finish < next {
+					next = b.finish
+				}
+			}
+		}
+		if math.IsInf(next, 1) {
+			return nil, fmt.Errorf("sim: deadlock at t=%.0f with %d/%d instructions done", now, completed, total)
+		}
+		if next < now {
+			next = now
+		}
+
+		// Advance time, draining transfers.
+		dt := next - now
+		for _, ch := range chans {
+			nodes[ch.nid].remaining -= rates[ch.nid] * dt
+		}
+		now = next
+
+		// Complete everything due.
+		for _, ch := range chans {
+			if nodes[ch.nid].remaining <= eps && !nodes[ch.nid].done {
+				finishNode(ch.nid, now)
+			}
+		}
+		for c := 0; c < ncores; c++ {
+			if nid := engines[c][plan.EngineCompute].busy; nid >= 0 {
+				if nodes[nid].finish <= now+eps && !nodes[nid].done {
+					finishNode(nid, now)
+				}
+			}
+		}
+		for _, bs := range barriers {
+			for _, b := range bs {
+				if b.released && b.finish <= now+eps {
+					for _, nid := range b.nodes {
+						if nid >= 0 && !nodes[nid].done {
+							finishNode(nid, now)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	stats.TotalCycles = now
+	for c := 0; c < ncores; c++ {
+		stats.PerCore[c].Idle = stats.TotalCycles - unionLength(busyIntervals[c])
+	}
+	return &Result{Stats: stats, Trace: trace}, nil
+}
+
+// jitter returns a deterministic pseudo-random barrier-release delay
+// in [0, bound] cycles, keyed by barrier ID — the runtime's dynamic
+// variance, reproducible across runs.
+func jitter(barrierID int, bound int64) float64 {
+	if bound <= 0 {
+		return 0
+	}
+	h := uint64(barrierID+1) * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return float64(h % uint64(bound+1))
+}
+
+// unionLength merges intervals and returns their covered length.
+func unionLength(iv [][2]float64) float64 {
+	if len(iv) == 0 {
+		return 0
+	}
+	sort.Slice(iv, func(i, j int) bool { return iv[i][0] < iv[j][0] })
+	total := 0.0
+	curLo, curHi := iv[0][0], iv[0][1]
+	for _, x := range iv[1:] {
+		if x[0] > curHi {
+			total += curHi - curLo
+			curLo, curHi = x[0], x[1]
+		} else if x[1] > curHi {
+			curHi = x[1]
+		}
+	}
+	return total + (curHi - curLo)
+}

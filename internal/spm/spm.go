@@ -1,0 +1,165 @@
+// Package spm profiles scratch-pad memory occupancy over a simulated
+// run. Mobile NPU local memory is explicitly managed (the premise of
+// the whole paper); this profiler derives every SPM buffer's live
+// interval from the executed timeline — a load's destination lives
+// until its last dependent compute finishes; a compute's output lives
+// until the last reader (store, halo send, or a forwarded consumer's
+// compute) finishes — and reports each core's peak footprint against
+// its capacity.
+//
+// The tiler's double-buffered accounting is an estimate made per
+// layer; this profiler measures the real cross-layer concurrency the
+// pipeline creates, so it is the authority on whether a compiled
+// schedule actually fits.
+package spm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/plan"
+	"repro/internal/sim"
+)
+
+// CoreProfile is one core's SPM occupancy result.
+type CoreProfile struct {
+	// PeakBytes is the maximum concurrently live SPM footprint.
+	PeakBytes int64
+	// PeakAtCycle is when the peak occurred.
+	PeakAtCycle float64
+	// CapacityBytes is the core's SPM size.
+	CapacityBytes int64
+	// Buffers is the number of distinct live intervals profiled.
+	Buffers int
+}
+
+// Fits reports whether the peak stayed within capacity.
+func (c CoreProfile) Fits() bool { return c.PeakBytes <= c.CapacityBytes }
+
+// Profile computes per-core SPM occupancy from a program and the
+// trace of its simulation (sim.Config{CollectTrace: true}).
+func Profile(p *plan.Program, trace []sim.Event) ([]CoreProfile, error) {
+	ncores := p.Arch.NumCores()
+
+	// Times per instruction, keyed by (core, index).
+	type key struct{ core, index int }
+	start := make(map[key]float64, len(trace))
+	end := make(map[key]float64, len(trace))
+	for _, ev := range trace {
+		start[key{ev.Core, ev.Index}] = ev.Start
+		end[key{ev.Core, ev.Index}] = ev.End
+	}
+	if len(trace) != p.NumInstrs() {
+		return nil, fmt.Errorf("spm: trace has %d events for %d instructions (was CollectTrace set?)",
+			len(trace), p.NumInstrs())
+	}
+
+	// dependents[core][i] lists instructions depending on (core, i).
+	dependents := make([][][]plan.Ref, ncores)
+	for c := range p.Cores {
+		dependents[c] = make([][]plan.Ref, len(p.Cores[c]))
+	}
+	for c, stream := range p.Cores {
+		for i, in := range stream {
+			for _, d := range in.Deps {
+				dependents[d.Core][d.Index] = append(dependents[d.Core][d.Index], plan.Ref{Core: c, Index: i})
+			}
+		}
+	}
+
+	type interval struct {
+		from, to float64
+		bytes    int64
+	}
+	intervals := make([][]interval, ncores)
+
+	for c, stream := range p.Cores {
+		for i, in := range stream {
+			k := key{c, i}
+			var bytes int64
+			var from float64
+			switch in.Op {
+			case plan.LoadInput, plan.LoadKernel, plan.LoadHalo:
+				bytes = in.Bytes
+				from = start[k]
+			case plan.Compute:
+				bytes = in.OutBytes
+				from = start[k]
+			default:
+				continue // stores read an existing buffer
+			}
+			if bytes <= 0 {
+				continue
+			}
+			// The buffer dies when its last reader finishes: dependent
+			// computes for loads; dependent stores/halo-sends and
+			// forwarded consumer computes for compute outputs. Load
+			// dependents that exist only for double-buffer slot reuse
+			// are excluded — they do not read the data.
+			to := end[k]
+			for _, d := range dependents[c][i] {
+				dop := p.Cores[d.Core][d.Index].Op
+				read := false
+				switch in.Op {
+				case plan.LoadInput, plan.LoadKernel, plan.LoadHalo:
+					read = dop == plan.Compute
+				case plan.Compute:
+					read = dop == plan.Compute || dop == plan.Store || dop == plan.StoreHalo
+				}
+				if read {
+					if t := end[key{d.Core, d.Index}]; t > to {
+						to = t
+					}
+				}
+			}
+			intervals[c] = append(intervals[c], interval{from: from, to: to, bytes: bytes})
+		}
+	}
+
+	profiles := make([]CoreProfile, ncores)
+	for c := range profiles {
+		profiles[c].CapacityBytes = p.Arch.Cores[c].SPMBytes
+		profiles[c].Buffers = len(intervals[c])
+		// Sweep: +bytes at from, -bytes at to.
+		type edge struct {
+			t     float64
+			delta int64
+		}
+		edges := make([]edge, 0, 2*len(intervals[c]))
+		for _, iv := range intervals[c] {
+			edges = append(edges, edge{iv.from, iv.bytes}, edge{iv.to, -iv.bytes})
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].t != edges[j].t {
+				return edges[i].t < edges[j].t
+			}
+			return edges[i].delta < edges[j].delta // frees before allocs at ties
+		})
+		var cur, peak int64
+		var peakAt float64
+		for _, e := range edges {
+			cur += e.delta
+			if cur > peak {
+				peak, peakAt = cur, e.t
+			}
+		}
+		profiles[c].PeakBytes = peak
+		profiles[c].PeakAtCycle = peakAt
+	}
+	return profiles, nil
+}
+
+// Report formats the profiles for humans.
+func Report(profiles []CoreProfile, clockMHz int) string {
+	s := ""
+	for c, p := range profiles {
+		status := "fits"
+		if !p.Fits() {
+			status = "OVERFLOWS"
+		}
+		s += fmt.Sprintf("P%d: peak %d KB of %d KB (%s) at %.1f us across %d buffers\n",
+			c, p.PeakBytes/1024, p.CapacityBytes/1024, status,
+			p.PeakAtCycle/float64(clockMHz), p.Buffers)
+	}
+	return s
+}

@@ -1,0 +1,87 @@
+package spm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/sim"
+)
+
+func profileModel(t *testing.T, name string, opt core.Options) []CoreProfile {
+	t.Helper()
+	g := models.ByNameMust(name)
+	a := arch.Exynos2100Like()
+	res, err := core.Compile(g, a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.Run(res.Program, sim.Config{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles, err := Profile(res.Program, out.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return profiles
+}
+
+func TestProfileBenchmarkModels(t *testing.T) {
+	for _, name := range []string{"MobileNetV2", "InceptionV3"} {
+		for _, opt := range []core.Options{core.Base(), core.Stratum()} {
+			profiles := profileModel(t, name, opt)
+			for c, p := range profiles {
+				if p.PeakBytes <= 0 || p.Buffers == 0 {
+					t.Errorf("%s/%s core %d: empty profile", name, opt.Name(), c)
+				}
+				// The occupancy must stay within a modest factor of
+				// capacity: the tiler budgets per layer, and the
+				// pipeline overlaps at most a couple of layers.
+				if p.PeakBytes > 2*p.CapacityBytes {
+					t.Errorf("%s/%s core %d: peak %d KB far beyond capacity %d KB",
+						name, opt.Name(), c, p.PeakBytes/1024, p.CapacityBytes/1024)
+				}
+			}
+		}
+	}
+}
+
+func TestProfileRequiresTrace(t *testing.T) {
+	g := models.TinyCNN()
+	a := arch.Exynos2100Like()
+	res, err := core.Compile(g, a, core.Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Profile(res.Program, nil); err == nil {
+		t.Error("missing trace accepted")
+	}
+}
+
+func TestProfileScalesWithTensorSize(t *testing.T) {
+	small := profileModel(t, "MobileNetV2", core.Base())
+	big := profileModel(t, "UNet", core.Base())
+	var smallPeak, bigPeak int64
+	for c := range small {
+		if small[c].PeakBytes > smallPeak {
+			smallPeak = small[c].PeakBytes
+		}
+		if big[c].PeakBytes > bigPeak {
+			bigPeak = big[c].PeakBytes
+		}
+	}
+	if bigPeak <= smallPeak {
+		t.Errorf("UNet peak %d <= MobileNetV2 peak %d", bigPeak, smallPeak)
+	}
+}
+
+func TestReportFormatting(t *testing.T) {
+	profiles := profileModel(t, "MobileNetV2", core.Stratum())
+	s := Report(profiles, 1300)
+	if !strings.Contains(s, "P0") || !strings.Contains(s, "peak") {
+		t.Errorf("report = %q", s)
+	}
+}

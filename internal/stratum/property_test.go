@@ -1,0 +1,72 @@
+package stratum
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/partition"
+	"repro/internal/schedule"
+	"repro/internal/tensor"
+)
+
+// Property: for random conv-chain geometries, stratum construction
+// always yields a valid decomposition with non-negative redundancy,
+// and every expanded region contains its planned region.
+func TestStratumBuildProperties(t *testing.T) {
+	a := arch.Exynos2100Like()
+	f := func(hRaw, cRaw, depthRaw, kSel uint8) bool {
+		h := int(hRaw%80) + 16
+		c := int(cRaw%24) + 1
+		depth := int(depthRaw%5) + 2
+		k := []int{1, 3, 5}[int(kSel)%3]
+		pad := k / 2
+
+		g := graph.New("q", tensor.Int8)
+		prev := g.Input("input", tensor.NewShape(h, h, c))
+		for i := 0; i < depth; i++ {
+			id, err := g.Add(
+				"conv"+string(rune('a'+i)),
+				ops.NewConv2D(k, k, 1, 1, c, ops.Padding{Top: pad, Bottom: pad, Left: pad, Right: pad}),
+				prev)
+			if err != nil {
+				return true
+			}
+			prev = id
+		}
+
+		p := partition.New(g, a)
+		plans := p.PlanAll()
+		pred := func(l *graph.Layer) bool { return plans[l.ID].Direction.Spatial() }
+		order := schedule.New(g, pred).Order()
+		b := New(g, a, plans, order)
+		strata := b.Build()
+		if b.Validate(strata) != nil {
+			return false
+		}
+		var trimmedAll []Stratum
+		for _, s := range strata {
+			if s.RedundantMACs < 0 {
+				return false
+			}
+			// TrimToFit must preserve the layer set.
+			trimmed := b.TrimToFit(&s)
+			total := 0
+			for _, ts := range trimmed {
+				total += ts.Len()
+			}
+			if total != s.Len() {
+				return false
+			}
+			trimmedAll = append(trimmedAll, trimmed...)
+		}
+		// The concatenated trimmed decomposition must validate (this is
+		// what the compiler lowers).
+		return b.Validate(trimmedAll) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,231 @@
+// Package tensor provides the shape, data-type, and region arithmetic
+// underlying the multicore-NPU compiler.
+//
+// All feature maps use the NHWC layout with N == 1 (single-image mobile
+// inference, as in the paper). A Shape describes a whole tensor; a
+// Region describes a rectangular sub-volume of a tensor, which is the
+// unit produced by layer partitioning (per-core sub-layers), halo
+// expansion, and tiling.
+package tensor
+
+import (
+	"fmt"
+)
+
+// DType is the element type of a tensor. The benchmark networks in the
+// paper run in INT8 except DeepLabV3+, which runs in INT16.
+type DType int
+
+// Supported element types.
+const (
+	Int8 DType = iota
+	Int16
+	Int32
+)
+
+// Size returns the size of one element in bytes.
+func (d DType) Size() int {
+	switch d {
+	case Int8:
+		return 1
+	case Int16:
+		return 2
+	case Int32:
+		return 4
+	default:
+		panic(fmt.Sprintf("tensor: unknown dtype %d", int(d)))
+	}
+}
+
+// String returns the conventional name of the dtype.
+func (d DType) String() string {
+	switch d {
+	case Int8:
+		return "INT8"
+	case Int16:
+		return "INT16"
+	case Int32:
+		return "INT32"
+	default:
+		return fmt.Sprintf("DType(%d)", int(d))
+	}
+}
+
+// Axis identifies a partitionable dimension of a feature map.
+type Axis int
+
+// Feature-map axes. Batch is never partitioned (N == 1).
+const (
+	AxisH Axis = iota // spatial height
+	AxisW             // spatial width
+	AxisC             // channels
+)
+
+// String returns the single-letter axis name.
+func (a Axis) String() string {
+	switch a {
+	case AxisH:
+		return "H"
+	case AxisW:
+		return "W"
+	case AxisC:
+		return "C"
+	default:
+		return fmt.Sprintf("Axis(%d)", int(a))
+	}
+}
+
+// Spatial reports whether the axis is one of the two image axes.
+func (a Axis) Spatial() bool { return a == AxisH || a == AxisW }
+
+// Shape is the extent of a feature map in NHWC layout with N == 1.
+type Shape struct {
+	H, W, C int
+}
+
+// NewShape returns the shape {h, w, c}. It panics if any extent is
+// negative; zero extents denote an empty tensor and are allowed.
+func NewShape(h, w, c int) Shape {
+	if h < 0 || w < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %dx%dx%d", h, w, c))
+	}
+	return Shape{H: h, W: w, C: c}
+}
+
+// Elems returns the number of elements in the tensor.
+func (s Shape) Elems() int64 {
+	return int64(s.H) * int64(s.W) * int64(s.C)
+}
+
+// Bytes returns the storage size of the tensor for dtype d.
+func (s Shape) Bytes(d DType) int64 {
+	return s.Elems() * int64(d.Size())
+}
+
+// Empty reports whether the shape has no elements.
+func (s Shape) Empty() bool { return s.H == 0 || s.W == 0 || s.C == 0 }
+
+// Dim returns the extent along axis a.
+func (s Shape) Dim(a Axis) int {
+	switch a {
+	case AxisH:
+		return s.H
+	case AxisW:
+		return s.W
+	case AxisC:
+		return s.C
+	default:
+		panic(fmt.Sprintf("tensor: bad axis %d", int(a)))
+	}
+}
+
+// WithDim returns a copy of s with the extent along axis a replaced by n.
+func (s Shape) WithDim(a Axis, n int) Shape {
+	switch a {
+	case AxisH:
+		s.H = n
+	case AxisW:
+		s.W = n
+	case AxisC:
+		s.C = n
+	default:
+		panic(fmt.Sprintf("tensor: bad axis %d", int(a)))
+	}
+	return s
+}
+
+// String formats the shape as "HxWxC".
+func (s Shape) String() string {
+	return fmt.Sprintf("%dx%dx%d", s.H, s.W, s.C)
+}
+
+// Region is a rectangular sub-volume of a tensor: a half-open interval
+// along each axis. Regions describe per-core partitions, halo-expanded
+// inputs, and tiles.
+type Region struct {
+	Off Shape // inclusive start offsets (H, W, C fields reused as offsets)
+	Ext Shape // extents
+}
+
+// WholeRegion returns the region covering all of shape s.
+func WholeRegion(s Shape) Region {
+	return Region{Off: Shape{}, Ext: s}
+}
+
+// Empty reports whether the region covers no elements.
+func (r Region) Empty() bool { return r.Ext.Empty() }
+
+// Elems returns the number of elements covered by the region.
+func (r Region) Elems() int64 { return r.Ext.Elems() }
+
+// Bytes returns the storage size of the region for dtype d.
+func (r Region) Bytes(d DType) int64 { return r.Ext.Bytes(d) }
+
+// End returns the exclusive end offset along axis a.
+func (r Region) End(a Axis) int { return r.Off.Dim(a) + r.Ext.Dim(a) }
+
+// Contains reports whether r fully contains q.
+func (r Region) Contains(q Region) bool {
+	for _, a := range []Axis{AxisH, AxisW, AxisC} {
+		if q.Off.Dim(a) < r.Off.Dim(a) || q.End(a) > r.End(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the overlap of r and q. The returned region is
+// empty (possibly with negative-clamped extents set to zero) if they
+// do not overlap.
+func (r Region) Intersect(q Region) Region {
+	var out Region
+	for _, a := range []Axis{AxisH, AxisW, AxisC} {
+		lo := maxInt(r.Off.Dim(a), q.Off.Dim(a))
+		hi := minInt(r.End(a), q.End(a))
+		if hi < lo {
+			hi = lo
+		}
+		out.Off = out.Off.WithDim(a, lo)
+		out.Ext = out.Ext.WithDim(a, hi-lo)
+	}
+	return out
+}
+
+// ClampTo returns r clipped to lie within the whole tensor of shape s.
+func (r Region) ClampTo(s Shape) Region {
+	return r.Intersect(WholeRegion(s))
+}
+
+// Overlaps reports whether r and q share at least one element.
+func (r Region) Overlaps(q Region) bool { return !r.Intersect(q).Empty() }
+
+// Grow expands the region by lo elements below and hi elements above
+// along axis a, without clamping. Use ClampTo to constrain the result
+// to a tensor boundary.
+func (r Region) Grow(a Axis, lo, hi int) Region {
+	r.Off = r.Off.WithDim(a, r.Off.Dim(a)-lo)
+	r.Ext = r.Ext.WithDim(a, r.Ext.Dim(a)+lo+hi)
+	return r
+}
+
+// String formats the region as "[h0:h1,w0:w1,c0:c1]".
+func (r Region) String() string {
+	return fmt.Sprintf("[%d:%d,%d:%d,%d:%d]",
+		r.Off.H, r.Off.H+r.Ext.H,
+		r.Off.W, r.Off.W+r.Ext.W,
+		r.Off.C, r.Off.C+r.Ext.C)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

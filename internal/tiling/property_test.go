@@ -1,0 +1,83 @@
+package tiling
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/partition"
+	"repro/internal/tensor"
+)
+
+// Property: for random convolution geometries and random SPM budgets,
+// every tiling plan that succeeds covers its sub-layer exactly with
+// non-overlapping tiles, keeps each tile's input inside the input
+// tensor, and carries a consistent kernel accounting (one slice per
+// group, group slices summing to the sub-layer kernel).
+func TestTilingGridProperties(t *testing.T) {
+	f := func(hRaw, cRaw, outCRaw, spmRaw, kSel uint8) bool {
+		h := int(hRaw%96) + 8
+		c := int(cRaw%48) + 1
+		outC := (int(outCRaw%32) + 1) * 4
+		k := []int{1, 3, 5}[int(kSel)%3]
+		pad := k / 2
+
+		g := graph.New("q", tensor.Int8)
+		in := g.Input("input", tensor.NewShape(h, h, c))
+		id, err := g.Add("conv", ops.NewConv2D(k, k, 1, 1, outC,
+			ops.Padding{Top: pad, Bottom: pad, Left: pad, Right: pad}), in)
+		if err != nil {
+			return true
+		}
+		l := g.Layer(id)
+
+		a := arch.Exynos2100Like()
+		spm := int64(128<<10) << (spmRaw % 5) // 128KB .. 2MB
+		for i := range a.Cores {
+			a.Cores[i].SPMBytes = spm
+		}
+		plans := partition.New(g, a).PlanAll()
+		tiler := New(a)
+		inShapes := g.InShapes(l)
+		inWhole := tensor.WholeRegion(inShapes[0])
+
+		for core, sub := range plans[id].Subs {
+			if sub.Empty() {
+				continue
+			}
+			tp, err := tiler.PlanSubLayer(l, inShapes, sub, core, Options{Direction: plans[id].Direction})
+			if err != nil {
+				continue // SPM too small at this geometry: allowed
+			}
+			if Validate(&tp, sub) != nil {
+				return false
+			}
+			groupKernels := map[int]int64{}
+			for _, tile := range tp.Tiles {
+				if !inWhole.Contains(tile.In[0]) {
+					return false
+				}
+				if tile.MACs <= 0 {
+					return false
+				}
+				if prev, ok := groupKernels[tile.CGroup]; ok && prev != tile.KernelBytes {
+					return false // tiles of one group disagree on the slice
+				}
+				groupKernels[tile.CGroup] = tile.KernelBytes
+			}
+			var sum int64
+			for _, kb := range groupKernels {
+				sum += kb
+			}
+			if sum != sub.KernelBytes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

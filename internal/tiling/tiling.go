@@ -1,0 +1,430 @@
+// Package tiling decomposes per-core sub-layers into tiles executed as
+// a load/compute/store software pipeline with double buffering
+// (Section 2.2). A sub-layer is tiled when its working set exceeds the
+// core's SPM or when tiling lets DMA overlap computation; with three
+// or more tiles, double buffering also shrinks the SPM footprint.
+//
+// Tiles form a 2-D grid: a primary axis (the partition axis for
+// spatially partitioned sub-layers, so halo transfers hide behind
+// interior tiles; the channel axis for channel-partitioned ones) and a
+// secondary channel/spatial axis engaged only under SPM pressure —
+// e.g. a convolution whose kernel alone exceeds SPM streams
+// output-channel slices.
+//
+// Tile execution order implements the halo-first policy (Section
+// 3.1.3): tiles that produce halo data for the next layer run first,
+// so the halo-exchange overlaps with the remaining tiles' computation.
+package tiling
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/tensor"
+)
+
+// Tile is one pipeline unit of a sub-layer.
+type Tile struct {
+	// Index is the tile's creation-order position in the grid.
+	Index int
+	// CGroup identifies the tile's slice along the secondary axis;
+	// tiles in one group share the same kernel slice.
+	CGroup int
+	// Out is the output region the tile produces (whole-layer output
+	// coordinates).
+	Out tensor.Region
+	// In are the input regions required, one per layer input.
+	In []tensor.Region
+	// MACs is the tile's compute cost.
+	MACs int64
+	// KernelBytes is the kernel slice the tile's CGroup needs; the
+	// emitter loads it once per group.
+	KernelBytes int64
+	// ProducesHalo marks tiles whose output contains rows/columns
+	// adjacent to a partition boundary — the data neighbouring cores
+	// will need. The halo-first policy schedules these before interior
+	// tiles.
+	ProducesHalo bool
+}
+
+// Plan is the tiling decision for one sub-layer on one core.
+type Plan struct {
+	// Axis is the primary tiling direction.
+	Axis tensor.Axis
+	// SecondaryAxis is the grid's other direction (meaningful when
+	// SecondaryCuts > 1).
+	SecondaryAxis tensor.Axis
+	// SecondaryCuts is the number of slices along the secondary axis.
+	SecondaryCuts int
+	// Tiles in execution order.
+	Tiles []Tile
+	// HaloFirst records whether the halo-first policy reordered the
+	// tiles.
+	HaloFirst bool
+}
+
+// NumTiles returns the number of tiles.
+func (p *Plan) NumTiles() int { return len(p.Tiles) }
+
+// Tiler sizes and orders tiles for an architecture.
+type Tiler struct {
+	Arch  *arch.Arch
+	Model *cost.Model
+	// MinPipelineTiles is the preferred minimum tile count when the
+	// extent allows it (3+ tiles both pipeline and reduce SPM need);
+	// defaults to 3.
+	MinPipelineTiles int
+	// MaxTiles caps the primary-axis tile count when SPM pressure does
+	// not force more; defaults to 16.
+	MaxTiles int
+}
+
+// New returns a Tiler with default pipelining parameters.
+func New(a *arch.Arch) *Tiler {
+	return &Tiler{Arch: a, Model: cost.New(a), MinPipelineTiles: 3, MaxTiles: 16}
+}
+
+// Options describes the context of the sub-layer being tiled.
+type Options struct {
+	// Direction is the layer's partitioning direction; spatially
+	// partitioned sub-layers tile along the same axis so halo
+	// transfers hide behind interior tiles.
+	Direction partition.Direction
+	// HaloLo/HaloHi report whether a neighbouring core's partition
+	// abuts this sub-layer below/above along the partition axis (so
+	// the respective edge tile produces halo).
+	HaloLo, HaloHi bool
+	// HaloWidth is the halo extent in elements along the axis (how
+	// many edge rows neighbours need).
+	HaloWidth int
+	// HaloFirst enables the halo-first execution order.
+	HaloFirst bool
+	// ForwardedInput marks layer inputs resident in SPM via
+	// feature-map forwarding; their bytes count once (resident), not
+	// per double-buffered tile (index parallel to layer inputs).
+	ForwardedInput []bool
+}
+
+// PlanSubLayer tiles sub-layer sub of layer l for the given core.
+// It returns an error when even maximal tiling cannot fit the core's
+// SPM.
+func (t *Tiler) PlanSubLayer(l *graph.Layer, inShapes []tensor.Shape, sub partition.SubLayer, core int, opt Options) (Plan, error) {
+	if sub.Empty() {
+		return Plan{Axis: tensor.AxisH}, nil
+	}
+	primary, secondary := t.chooseAxes(l, sub, opt)
+	spm := t.Arch.Cores[core].SPMBytes
+
+	extA := sub.Out.Ext.Dim(primary)
+	alignA := t.alignFor(core, primary)
+	maxA := maxCuts(extA, alignA)
+	extB := sub.Out.Ext.Dim(secondary)
+	alignB := t.alignFor(core, secondary)
+	maxB := maxCuts(extB, alignB)
+
+	loA := 1
+	if extA >= t.minTiles()*alignA {
+		loA = t.minTiles()
+	}
+
+	var chosen []Tile
+	var chosenB int
+search:
+	for kb := 1; kb <= maxB; kb++ {
+		for ka := loA; ka <= maxA; ka++ {
+			tiles := t.cutGrid(l, inShapes, sub, primary, ka, alignA, secondary, kb, alignB)
+			if t.spmNeed(tiles, l.DType, opt) <= spm {
+				chosen, chosenB = tiles, kb
+				break search
+			}
+			// Past the soft cap, only keep growing the primary count
+			// if it still helps; otherwise move to the next secondary
+			// cut sooner. (The loop bound maxA already terminates.)
+		}
+		if kb == 1 && loA > 1 {
+			// Also consider fewer-than-pipelining tile counts before
+			// engaging the secondary axis.
+			for ka := 1; ka < loA; ka++ {
+				tiles := t.cutGrid(l, inShapes, sub, primary, ka, alignA, secondary, kb, alignB)
+				if t.spmNeed(tiles, l.DType, opt) <= spm {
+					chosen, chosenB = tiles, kb
+					break search
+				}
+			}
+		}
+	}
+	if chosen == nil {
+		return Plan{}, fmt.Errorf(
+			"tiling: layer %s sub-layer %v does not fit SPM of core %d (%d B) at any tile count",
+			l.Name, sub.Out, core, spm)
+	}
+
+	t.markHalo(chosen, sub, primary, opt)
+	plan := Plan{Axis: primary, SecondaryAxis: secondary, SecondaryCuts: chosenB, Tiles: chosen}
+	if opt.HaloFirst && opt.Direction.Spatial() && primary == opt.Direction.Axis() {
+		plan.Tiles = haloFirstOrder(plan.Tiles)
+		plan.HaloFirst = true
+	}
+	return plan, nil
+}
+
+func (t *Tiler) minTiles() int {
+	if t.MinPipelineTiles > 0 {
+		return t.MinPipelineTiles
+	}
+	return 3
+}
+
+// maxCuts bounds the cut count along an axis by its aligned capacity.
+func maxCuts(extent, align int) int {
+	n := extent / align
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// chooseAxes picks the tiling grid: the partition axis first (halo
+// hiding for spatial, kernel slicing for channel), with the other
+// family as the pressure-relief secondary.
+func (t *Tiler) chooseAxes(l *graph.Layer, sub partition.SubLayer, opt Options) (primary, secondary tensor.Axis) {
+	switch {
+	case opt.Direction.Spatial():
+		return opt.Direction.Axis(), tensor.AxisC
+	case opt.Direction == partition.DirChannel:
+		return tensor.AxisC, tensor.AxisH
+	}
+	// Unpartitioned: longest legal spatial axis primary, channels
+	// secondary.
+	primary = tensor.AxisH
+	if sub.Out.Ext.W > sub.Out.Ext.H && l.Op.SupportsPartition(tensor.AxisW) {
+		primary = tensor.AxisW
+	}
+	return primary, tensor.AxisC
+}
+
+func (t *Tiler) alignFor(core int, a tensor.Axis) int {
+	if a == tensor.AxisC {
+		return t.Arch.Cores[core].AlignC
+	}
+	return t.Arch.Cores[core].AlignSpatial
+}
+
+// cutGrid slices the sub-layer output into a ka x kb grid (ka cuts
+// along the primary axis, kb along the secondary) and derives per-tile
+// inputs and costs. Iteration is always channel-outer: all tiles
+// sharing one kernel slice (a CGroup) are contiguous, so each kernel
+// slice is loaded once and streamed over the other axis.
+func (t *Tiler) cutGrid(l *graph.Layer, inShapes []tensor.Shape, sub partition.SubLayer,
+	axisA tensor.Axis, ka, alignA int, axisB tensor.Axis, kb, alignB int) []Tile {
+
+	extA := sub.Out.Ext.Dim(axisA)
+	extB := sub.Out.Ext.Dim(axisB)
+	if ka > extA {
+		ka = extA
+	}
+	if kb > extB {
+		kb = extB
+	}
+	chunksA := tensor.SplitEven(extA, ka, alignA)
+	chunksB := tensor.SplitEven(extB, kb, alignB)
+
+	// One of the two axes is always the channel axis: iterate it on
+	// the outside so kernel-slice groups are contiguous.
+	axisOut, chunksOut := axisA, chunksA
+	axisIn, chunksIn := axisB, chunksB
+	if axisB == tensor.AxisC {
+		axisOut, chunksOut = axisB, chunksB
+		axisIn, chunksIn = axisA, chunksA
+	}
+
+	var tiles []Tile
+	offOut := sub.Out.Off.Dim(axisOut)
+	group := 0
+	idx := 0
+	for _, szOut := range chunksOut {
+		if szOut == 0 {
+			continue
+		}
+		offIn := sub.Out.Off.Dim(axisIn)
+		emitted := false
+		for _, szIn := range chunksIn {
+			if szIn == 0 {
+				continue
+			}
+			out := sub.Out
+			out.Off = out.Off.WithDim(axisOut, offOut).WithDim(axisIn, offIn)
+			out.Ext = out.Ext.WithDim(axisOut, szOut).WithDim(axisIn, szIn)
+			offIn += szIn
+			tile := Tile{Index: idx, CGroup: group, Out: out}
+			tile.In = make([]tensor.Region, len(inShapes))
+			for j := range inShapes {
+				tile.In[j] = l.Op.InputRegion(out, j, inShapes)
+			}
+			tile.MACs = l.Op.MACs(out.Ext, inShapes)
+			// Kernel slice of the group: ops charge kernels by output
+			// channel extent only.
+			tile.KernelBytes = l.Op.KernelBytes(out.Ext, inShapes, l.DType)
+			tiles = append(tiles, tile)
+			emitted = true
+			idx++
+		}
+		offOut += szOut
+		if emitted {
+			group++
+		}
+	}
+	return tiles
+}
+
+// spmNeed returns the double-buffered SPM requirement of a tile plan.
+// Inputs whose region is identical across tiles (or forwarded) are
+// resident once; streamed inputs and outputs are double-buffered;
+// kernels are resident per group, double-buffered when streamed.
+func (t *Tiler) spmNeed(tiles []Tile, dt tensor.DType, opt Options) int64 {
+	if len(tiles) == 0 {
+		return 0
+	}
+	nIn := len(tiles[0].In)
+	var need int64
+
+	for j := 0; j < nIn; j++ {
+		shared := true
+		var maxIn, totalShared int64
+		first := tiles[0].In[j]
+		for _, tile := range tiles {
+			b := tile.In[j].Bytes(dt)
+			if b > maxIn {
+				maxIn = b
+			}
+			if tile.In[j] != first {
+				shared = false
+			}
+		}
+		totalShared = first.Bytes(dt)
+		switch {
+		case j < len(opt.ForwardedInput) && opt.ForwardedInput[j]:
+			// Forwarded: resident from the producer; count the full
+			// region once.
+			var u tensor.Region
+			for i, tile := range tiles {
+				if i == 0 {
+					u = tile.In[j]
+				} else {
+					u = bbox(u, tile.In[j])
+				}
+			}
+			need += u.Bytes(dt)
+		case shared:
+			need += totalShared // input-stationary
+		default:
+			need += 2 * maxIn
+		}
+	}
+
+	var maxOut int64
+	for _, tile := range tiles {
+		if b := tile.Out.Bytes(dt); b > maxOut {
+			maxOut = b
+		}
+	}
+	need += 2 * maxOut
+
+	groups := tiles[len(tiles)-1].CGroup + 1
+	var maxKernel int64
+	for _, tile := range tiles {
+		if tile.KernelBytes > maxKernel {
+			maxKernel = tile.KernelBytes
+		}
+	}
+	if groups > 1 {
+		need += 2 * maxKernel
+	} else {
+		need += maxKernel
+	}
+	return need
+}
+
+func bbox(a, b tensor.Region) tensor.Region {
+	var out tensor.Region
+	for _, ax := range []tensor.Axis{tensor.AxisH, tensor.AxisW, tensor.AxisC} {
+		lo := a.Off.Dim(ax)
+		if v := b.Off.Dim(ax); v < lo {
+			lo = v
+		}
+		hi := a.End(ax)
+		if v := b.End(ax); v > hi {
+			hi = v
+		}
+		out.Off = out.Off.WithDim(ax, lo)
+		out.Ext = out.Ext.WithDim(ax, hi-lo)
+	}
+	return out
+}
+
+// markHalo flags tiles whose output touches a partition boundary that
+// a neighbour needs.
+func (t *Tiler) markHalo(tiles []Tile, sub partition.SubLayer, axis tensor.Axis, opt Options) {
+	if !opt.Direction.Spatial() || axis != opt.Direction.Axis() || opt.HaloWidth <= 0 {
+		return
+	}
+	lo := sub.Out.Off.Dim(axis)
+	hi := sub.Out.End(axis)
+	for i := range tiles {
+		tLo := tiles[i].Out.Off.Dim(axis)
+		tHi := tiles[i].Out.End(axis)
+		if opt.HaloLo && tLo < lo+opt.HaloWidth {
+			tiles[i].ProducesHalo = true
+		}
+		if opt.HaloHi && tHi > hi-opt.HaloWidth {
+			tiles[i].ProducesHalo = true
+		}
+	}
+}
+
+// haloFirstOrder moves halo-producing tiles to the front, preserving
+// relative order within each class.
+func haloFirstOrder(tiles []Tile) []Tile {
+	out := make([]Tile, 0, len(tiles))
+	for _, t := range tiles {
+		if t.ProducesHalo {
+			out = append(out, t)
+		}
+	}
+	for _, t := range tiles {
+		if !t.ProducesHalo {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Validate checks that a plan's tiles exactly cover the sub-layer
+// output without overlap.
+func Validate(plan *Plan, sub partition.SubLayer) error {
+	if sub.Empty() {
+		if len(plan.Tiles) != 0 {
+			return fmt.Errorf("tiling: empty sub-layer has %d tiles", len(plan.Tiles))
+		}
+		return nil
+	}
+	var total int64
+	for i, a := range plan.Tiles {
+		if !sub.Out.Contains(a.Out) {
+			return fmt.Errorf("tiling: tile %d %v outside sub-layer %v", i, a.Out, sub.Out)
+		}
+		total += a.Out.Elems()
+		for j := i + 1; j < len(plan.Tiles); j++ {
+			if a.Out.Overlaps(plan.Tiles[j].Out) {
+				return fmt.Errorf("tiling: tiles %d and %d overlap", i, j)
+			}
+		}
+	}
+	if total != sub.Out.Elems() {
+		return fmt.Errorf("tiling: tiles cover %d elements, sub-layer has %d", total, sub.Out.Elems())
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/sim"
+)
+
+func traceOf(t *testing.T) ([]sim.Event, *arch.Arch) {
+	t.Helper()
+	a := arch.Exynos2100Like()
+	g := models.TinyCNN()
+	res, err := core.Compile(g, a, core.Halo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.Run(res.Program, sim.Config{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Trace, a
+}
+
+func TestGantt(t *testing.T) {
+	events, a := traceOf(t)
+	var buf bytes.Buffer
+	if err := Gantt(&buf, events, a, 80); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "P0") || !strings.Contains(s, "compute") {
+		t.Errorf("gantt missing lanes:\n%s", s)
+	}
+	if !strings.Contains(s, "#") {
+		t.Error("gantt shows no compute activity")
+	}
+	if !strings.Contains(s, "legend") {
+		t.Error("gantt missing legend")
+	}
+	// Every row must be the requested width.
+	for _, line := range strings.Split(s, "\n") {
+		if i := strings.IndexByte(line, '|'); i >= 0 {
+			row := line[i+1 : len(line)-1]
+			if len(row) != 80 {
+				t.Errorf("row width %d, want 80", len(row))
+			}
+		}
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Gantt(&buf, nil, arch.SingleCore(), 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Error("empty trace not reported")
+	}
+}
+
+func TestChromeExport(t *testing.T) {
+	events, a := traceOf(t)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, events, a); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string][]map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	evs := doc["traceEvents"]
+	if len(evs) != len(events) {
+		t.Errorf("exported %d events, want %d", len(evs), len(events))
+	}
+	for _, ev := range evs[:3] {
+		if ev["ph"] != "X" || ev["name"] == "" {
+			t.Errorf("bad event %v", ev)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	events, a := traceOf(t)
+	s := Summary(events, a)
+	if !strings.Contains(s, "compute") || !strings.Contains(s, "P2") {
+		t.Errorf("summary = %q", s)
+	}
+}

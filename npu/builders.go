@@ -1,0 +1,74 @@
+package npu
+
+import (
+	"repro/internal/ops"
+)
+
+// Operator aliases for building custom networks with Graph.MustAdd.
+type (
+	// Op is the operator interface every layer wraps.
+	Op = ops.Op
+	// InputOp is the graph source pseudo-operator.
+	InputOp = ops.Input
+	// Conv2D is a dense 2-D convolution.
+	Conv2D = ops.Conv2D
+	// DepthwiseConv2D convolves each channel independently.
+	DepthwiseConv2D = ops.DepthwiseConv2D
+	// TransposeConv2D is a strided up-convolution.
+	TransposeConv2D = ops.TransposeConv2D
+	// MaxPool2D is sliding-window max pooling.
+	MaxPool2D = ops.MaxPool2D
+	// AvgPool2D is sliding-window average pooling.
+	AvgPool2D = ops.AvgPool2D
+	// GlobalAvgPool reduces the spatial extent to 1x1.
+	GlobalAvgPool = ops.GlobalAvgPool
+	// FullyConnected maps 1x1xIn to 1x1xOut.
+	FullyConnected = ops.FullyConnected
+	// Add sums inputs elementwise.
+	Add = ops.Add
+	// Mul multiplies elementwise with 1x1xC broadcast.
+	Mul = ops.Mul
+	// Concat joins inputs along channels.
+	Concat = ops.Concat
+	// Activation applies a pointwise non-linearity.
+	Activation = ops.Activation
+	// Softmax normalizes along channels.
+	Softmax = ops.Softmax
+	// Resize scales the spatial extent by integer factors.
+	Resize = ops.Resize
+	// Crop removes spatial margins.
+	Crop = ops.Crop
+	// ChannelSlice selects a channel interval.
+	ChannelSlice = ops.ChannelSlice
+	// ChannelShuffle interleaves channel groups (ShuffleNet).
+	ChannelShuffle = ops.ChannelShuffle
+	// Padding holds per-side spatial padding.
+	Padding = ops.Padding
+	// ActFunc selects the activation function.
+	ActFunc = ops.ActFunc
+)
+
+// Activation functions.
+const (
+	ReLU    = ops.ReLU
+	ReLU6   = ops.ReLU6
+	Sigmoid = ops.Sigmoid
+	HSwish  = ops.HSwish
+	TanH    = ops.TanH
+)
+
+// Resize modes.
+const (
+	Nearest  = ops.Nearest
+	Bilinear = ops.Bilinear
+)
+
+// NewConv2D returns a convolution with unit dilation.
+var NewConv2D = ops.NewConv2D
+
+// NewDepthwiseConv2D returns a depthwise convolution with unit dilation.
+var NewDepthwiseConv2D = ops.NewDepthwiseConv2D
+
+// SamePad returns TensorFlow-style "SAME" padding for the given
+// geometry.
+var SamePad = ops.SamePad

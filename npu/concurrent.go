@@ -1,0 +1,53 @@
+package npu
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Workload is one network of a concurrent multi-network run: the graph,
+// the global core indices it owns, and its optimization options.
+type Workload struct {
+	Graph   *Graph
+	Cores   []int
+	Options Options
+}
+
+// MultiReport is the outcome of a concurrent run.
+type MultiReport struct {
+	// Stats aggregates over the whole platform.
+	Stats SimStats
+	// PerWorkloadUS is each workload's completion time in microseconds.
+	PerWorkloadUS []float64
+	// Arch is the shared platform.
+	Arch *Arch
+}
+
+// RunConcurrent compiles each workload for its core subset and
+// simulates them together on one architecture, sharing the global
+// memory bus — the multi-network concurrency scenario that motivates
+// multicore NPU designs in the paper's introduction.
+func RunConcurrent(a *Arch, workloads []Workload) (*MultiReport, error) {
+	placements := make([]sim.Placement, len(workloads))
+	for i, w := range workloads {
+		sub, err := a.Subset(w.Cores)
+		if err != nil {
+			return nil, fmt.Errorf("workload %d: %w", i, err)
+		}
+		res, err := Compile(w.Graph, sub, w.Options)
+		if err != nil {
+			return nil, fmt.Errorf("workload %d (%s): %w", i, w.Graph.Name, err)
+		}
+		placements[i] = sim.Placement{Program: res.Program, Cores: w.Cores}
+	}
+	out, err := sim.RunConcurrent(a, placements, sim.Config{})
+	if err != nil {
+		return nil, err
+	}
+	rep := &MultiReport{Stats: out.Stats, Arch: a}
+	for _, pc := range out.Stats.ProgramCycles {
+		rep.PerWorkloadUS = append(rep.PerWorkloadUS, pc/float64(a.ClockMHz))
+	}
+	return rep, nil
+}

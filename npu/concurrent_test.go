@@ -1,0 +1,45 @@
+package npu_test
+
+import (
+	"testing"
+
+	"repro/npu"
+)
+
+func TestRunConcurrent(t *testing.T) {
+	a := npu.Exynos2100Like()
+	g1 := npu.BuildModel("MobileNetV2")
+	g2 := npu.BuildModel("MobileNetV2")
+	rep, err := npu.RunConcurrent(a, []npu.Workload{
+		{Graph: g1, Cores: []int{0, 1}, Options: npu.Halo()},
+		{Graph: g2, Cores: []int{2}, Options: npu.Halo()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerWorkloadUS) != 2 {
+		t.Fatalf("workload times = %v", rep.PerWorkloadUS)
+	}
+	for i, us := range rep.PerWorkloadUS {
+		if us <= 0 {
+			t.Errorf("workload %d time %f", i, us)
+		}
+	}
+	// The 2-core placement must beat the 1-core placement for the
+	// same network.
+	if rep.PerWorkloadUS[0] >= rep.PerWorkloadUS[1] {
+		t.Errorf("2-core run %.1fus >= 1-core run %.1fus", rep.PerWorkloadUS[0], rep.PerWorkloadUS[1])
+	}
+}
+
+func TestRunConcurrentRejectsOverlap(t *testing.T) {
+	a := npu.Exynos2100Like()
+	g := npu.BuildModel("MobileNetV2")
+	_, err := npu.RunConcurrent(a, []npu.Workload{
+		{Graph: g, Cores: []int{0, 1}, Options: npu.Base()},
+		{Graph: g, Cores: []int{1, 2}, Options: npu.Base()},
+	})
+	if err == nil {
+		t.Fatal("overlapping cores accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package npu_test
+
+import (
+	"fmt"
+
+	"repro/npu"
+)
+
+// ExampleCompile shows the basic build-compile flow and what the
+// compiler decides.
+func ExampleCompile() {
+	g := npu.NewGraph("demo", npu.Int8)
+	in := g.Input("input", npu.NewShape(32, 32, 8))
+	c := g.MustAdd("conv", npu.NewConv2D(3, 3, 1, 1, 16,
+		npu.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), in)
+	g.MustAdd("relu", npu.Activation{Func: npu.ReLU}, c)
+
+	res, err := npu.Compile(g, npu.Exynos2100Like(), npu.Stratum())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("layers:", g.Len())
+	fmt.Println("barriers:", res.Program.NumBarriers)
+	fmt.Println("validated:", npu.Validate(g, res) == nil)
+	// Output:
+	// layers: 3
+	// barriers: 0
+	// validated: true
+}
+
+// ExampleModels lists the paper's benchmark networks.
+func ExampleModels() {
+	for _, m := range npu.Models() {
+		fmt.Printf("%s %s %s\n", m.Name, m.Input, m.DType)
+	}
+	// Output:
+	// InceptionV3 299x299x3 INT8
+	// MobileNetV2 224x224x3 INT8
+	// MobileNetV2-SSD 300x300x3 INT8
+	// MobileDet-SSD 320x320x3 INT8
+	// DeepLabV3+ 513x513x3 INT16
+	// UNet 572x572x3 INT8
+}
+
+// ExampleRun compares the Table 3 configurations on one graph.
+func ExampleRun() {
+	g := npu.NewGraph("chain", npu.Int8)
+	x := g.Input("input", npu.NewShape(64, 64, 16))
+	for i := 0; i < 3; i++ {
+		x = g.MustAdd(fmt.Sprintf("conv%d", i), npu.NewConv2D(3, 3, 1, 1, 16,
+			npu.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), x)
+	}
+	a := npu.Exynos2100Like()
+	var base, strat float64
+	for _, opt := range []npu.Options{npu.Base(), npu.Stratum()} {
+		rep, err := npu.Run(g, a, opt)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		if opt.Stratum {
+			strat = rep.LatencyMicros()
+		} else {
+			base = rep.LatencyMicros()
+		}
+	}
+	fmt.Println("stratum faster:", strat < base)
+	// Output:
+	// stratum faster: true
+}

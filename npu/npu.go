@@ -1,0 +1,244 @@
+// Package npu is the public API of the multicore-NPU compiler and
+// simulator reproducing "Accelerating Deep Neural Networks on Mobile
+// Multicore NPUs" (CGO 2023).
+//
+// Typical use:
+//
+//	g := npu.BuildModel("MobileNetV2")        // or build your own graph
+//	a := npu.Exynos2100Like()                  // 3-core NPU description
+//	res, err := npu.Compile(g, a, npu.Stratum()) // Base() / Halo() / Stratum()
+//	rep, err := npu.Simulate(res, false)
+//	fmt.Println(rep)
+//
+// The package re-exports the building blocks (graph construction,
+// operators, architecture description, compiler options) via type
+// aliases, so the whole pipeline is scriptable from one import.
+package npu
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/autotune"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/partition"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+	"repro/internal/tiling"
+)
+
+// Core data-model aliases.
+type (
+	// Graph is the network IR; build with NewGraph and Graph.MustAdd.
+	Graph = graph.Graph
+	// Layer is one node of a Graph.
+	Layer = graph.Layer
+	// LayerID identifies a layer within its graph.
+	LayerID = graph.LayerID
+	// Shape is an HxWxC tensor extent.
+	Shape = tensor.Shape
+	// DType is a tensor element type (Int8, Int16, Int32).
+	DType = tensor.DType
+	// Arch describes the NPU hardware.
+	Arch = arch.Arch
+	// CoreDesc describes one NPU core.
+	CoreDesc = arch.Core
+	// Options selects the optimization configuration (Table 3).
+	Options = core.Options
+	// Result is the compiler's output.
+	Result = core.Result
+	// ModelInfo describes one benchmark network (Table 2).
+	ModelInfo = models.Info
+	// SimStats is the aggregate outcome of a simulation.
+	SimStats = sim.Stats
+	// TraceEvent is one executed instruction interval.
+	TraceEvent = sim.Event
+	// PartitionMode forces a partitioning policy (Table 4 compares them).
+	PartitionMode = partition.Mode
+)
+
+// Element types.
+const (
+	Int8  = tensor.Int8
+	Int16 = tensor.Int16
+	Int32 = tensor.Int32
+)
+
+// Partitioning policies.
+const (
+	Adaptive     = partition.Adaptive
+	ForceSpatial = partition.ForceSpatial
+	ForceChannel = partition.ForceChannel
+)
+
+// NewGraph returns an empty network with default element type dt.
+func NewGraph(name string, dt DType) *Graph { return graph.New(name, dt) }
+
+// NewShape returns the shape {h, w, c}.
+func NewShape(h, w, c int) Shape { return tensor.NewShape(h, w, c) }
+
+// Architecture presets.
+var (
+	// Exynos2100Like is the paper's three-core evaluation platform.
+	Exynos2100Like = arch.Exynos2100Like
+	// SingleCore is the one-core baseline of Figure 11.
+	SingleCore = arch.SingleCore
+	// Homogeneous returns an n-core NPU with identical cores.
+	Homogeneous = arch.Homogeneous
+)
+
+// Optimization configurations (Table 3).
+var (
+	// Base partitions and pipelines but synchronizes at every layer.
+	Base = core.Base
+	// Halo adds halo-exchange, halo-first tiling, and forwarding.
+	Halo = core.Halo
+	// Stratum adds synchronization-free strata on top of Halo.
+	Stratum = core.Stratum
+)
+
+// Models returns the six benchmark networks of Table 2.
+func Models() []ModelInfo { return models.All() }
+
+// BuildModel constructs a benchmark network by name; it panics on an
+// unknown name (use Models for the list).
+func BuildModel(name string) *Graph {
+	m, err := models.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return m.Build()
+}
+
+// Compile lowers a network for an architecture under the given
+// optimization options.
+func Compile(g *Graph, a *Arch, opt Options) (*Result, error) {
+	return core.Compile(g, a, opt)
+}
+
+// Report is a simulation outcome with convenient accessors.
+type Report struct {
+	// Stats holds latency and per-core metrics (cycles).
+	Stats SimStats
+	// Trace holds per-instruction events when requested.
+	Trace []TraceEvent
+	// Arch is the simulated platform (for unit conversions).
+	Arch *Arch
+	// Config names the optimization configuration.
+	Config string
+}
+
+// LatencyMicros returns the end-to-end inference latency.
+func (r *Report) LatencyMicros() float64 {
+	return r.Stats.LatencyMicros(r.Arch.ClockMHz)
+}
+
+// String formats a human-readable summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s: %.1f us\n", r.Config, r.Arch.Name, r.LatencyMicros())
+	var idle, syncW []float64
+	for _, c := range r.Stats.PerCore {
+		idle = append(idle, c.Idle)
+		syncW = append(syncW, c.SyncWait)
+	}
+	fmt.Fprintf(&b, "  idle %s, sync %s, %d barriers, %.1f MB moved, %.2f GMACs executed\n",
+		stats.Summarize(idle).Micros(r.Arch.ClockMHz),
+		stats.Summarize(syncW).Micros(r.Arch.ClockMHz),
+		r.Stats.Barriers,
+		float64(r.Stats.TotalBytes())/1e6,
+		float64(r.Stats.TotalMACs())/1e9)
+	for i, c := range r.Stats.PerCore {
+		fmt.Fprintf(&b, "  %s: compute %.1f us, dma %.1f us, idle %.1f us, %d KB loaded, %d KB stored\n",
+			r.Arch.Cores[i].Name,
+			c.ComputeBusy/float64(r.Arch.ClockMHz),
+			(c.LoadBusy+c.StoreBusy)/float64(r.Arch.ClockMHz),
+			c.Idle/float64(r.Arch.ClockMHz),
+			c.BytesLoaded/1024, c.BytesStored/1024)
+	}
+	return b.String()
+}
+
+// Simulate runs a compiled program on the discrete-event simulator.
+func Simulate(res *Result, collectTrace bool) (*Report, error) {
+	out, err := sim.Run(res.Program, sim.Config{CollectTrace: collectTrace})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Stats:  out.Stats,
+		Trace:  out.Trace,
+		Arch:   res.Program.Arch,
+		Config: "compiled",
+	}, nil
+}
+
+// Run compiles and simulates in one step.
+func Run(g *Graph, a *Arch, opt Options) (*Report, error) {
+	res, err := Compile(g, a, opt)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := Simulate(res, false)
+	if err != nil {
+		return nil, err
+	}
+	rep.Config = opt.Name()
+	return rep, nil
+}
+
+// EnergyMicroJoules estimates the inference energy from the
+// architecture's per-MAC and per-DRAM-byte costs.
+func (r *Report) EnergyMicroJoules(int16Model bool) float64 {
+	return r.Stats.EnergyMicroJoules(r.Arch.PJPerMAC, r.Arch.PJPerDRAMByte, int16Model)
+}
+
+// TuneResult is the outcome of profile-guided rebalancing.
+type TuneResult = autotune.Result
+
+// AutoBalance compiles, simulates, and iteratively rebalances the
+// per-core partitioning weights from the observed utilization (the
+// paper's profile-guided fix for unbalanced workloads), returning the
+// best schedule found.
+func AutoBalance(g *Graph, a *Arch, opt Options, iters int) (*TuneResult, error) {
+	return autotune.AutoBalance(g, a, opt, iters)
+}
+
+// RunBatch simulates n back-to-back inferences and returns the
+// steady-state inference period in microseconds (sustained-throughput
+// metric) next to the single-shot latency report.
+func RunBatch(g *Graph, a *Arch, opt Options, n int) (periodUS float64, err error) {
+	res, err := Compile(g, a, opt)
+	if err != nil {
+		return 0, err
+	}
+	period, _, err := sim.Throughput(res.Program, n, sim.Config{})
+	if err != nil {
+		return 0, err
+	}
+	return period / float64(a.ClockMHz), nil
+}
+
+// Validate checks a compilation result's region arithmetic by
+// executing the graph numerically three ways — whole (reference),
+// partitioned per core, and per stratum with feature-map forwarding —
+// and comparing bit-exactly. It is slow on full benchmark models; use
+// small graphs or prefixes.
+func Validate(g *Graph, res *Result) error {
+	ref, err := exec.RunReference(g)
+	if err != nil {
+		return err
+	}
+	if err := exec.ValidatePartitioned(g, res.Plans, ref); err != nil {
+		return err
+	}
+	if err := exec.ValidateTiled(g, res.Plans, tiling.New(res.Program.Arch), ref); err != nil {
+		return err
+	}
+	return exec.ValidateStrata(g, res.Plans, res.Strata, ref)
+}

@@ -1,0 +1,79 @@
+package npu_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/npu"
+)
+
+func TestEndToEndTinyGraph(t *testing.T) {
+	g := npu.NewGraph("tiny", npu.Int8)
+	in := g.Input("input", npu.NewShape(32, 32, 8))
+	c := g.MustAdd("conv", npu.NewConv2D(3, 3, 1, 1, 16,
+		npu.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), in)
+	r := g.MustAdd("relu", npu.Activation{Func: npu.ReLU}, c)
+	g.MustAdd("pool", npu.MaxPool2D{KH: 2, KW: 2, StrideH: 2, StrideW: 2}, r)
+
+	for _, opt := range []npu.Options{npu.Base(), npu.Halo(), npu.Stratum()} {
+		rep, err := npu.Run(g, npu.Exynos2100Like(), opt)
+		if err != nil {
+			t.Fatalf("%s: %v", opt.Name(), err)
+		}
+		if rep.LatencyMicros() <= 0 {
+			t.Errorf("%s: non-positive latency", opt.Name())
+		}
+		if !strings.Contains(rep.String(), opt.Name()) {
+			t.Errorf("%s: report missing config name", opt.Name())
+		}
+	}
+}
+
+func TestValidateEndToEnd(t *testing.T) {
+	g := npu.NewGraph("v", npu.Int8)
+	in := g.Input("input", npu.NewShape(40, 40, 8))
+	x := in
+	for i := 0; i < 3; i++ {
+		x = g.MustAdd("conv"+string(rune('a'+i)), npu.NewConv2D(3, 3, 1, 1, 8,
+			npu.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), x)
+	}
+	res, err := npu.Compile(g, npu.Exynos2100Like(), npu.Stratum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := npu.Validate(g, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelRegistry(t *testing.T) {
+	ms := npu.Models()
+	if len(ms) != 6 {
+		t.Fatalf("models = %d, want 6", len(ms))
+	}
+	g := npu.BuildModel("MobileNetV2")
+	if g.Len() == 0 {
+		t.Fatal("empty model")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown model must panic")
+		}
+	}()
+	npu.BuildModel("nope")
+}
+
+func TestSimulateWithTrace(t *testing.T) {
+	g := npu.BuildModel("MobileNetV2")
+	res, err := npu.Compile(g, npu.SingleCore(), npu.Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := npu.Simulate(res, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Trace) == 0 {
+		t.Error("trace empty")
+	}
+}

@@ -1,0 +1,91 @@
+package npu_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/npu"
+)
+
+func report(t *testing.T, trace bool) *npu.Report {
+	t.Helper()
+	g := npu.BuildModel("MobileNetV2")
+	res, err := npu.Compile(g, npu.Exynos2100Like(), npu.Halo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := npu.Simulate(res, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Config = "+Halo"
+	return rep
+}
+
+func TestReportString(t *testing.T) {
+	rep := report(t, false)
+	s := rep.String()
+	for _, want := range []string{"+Halo", "P0", "P2", "barriers", "GMACs"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestReportEnergy(t *testing.T) {
+	rep := report(t, false)
+	e8 := rep.EnergyMicroJoules(false)
+	e16 := rep.EnergyMicroJoules(true)
+	if e8 <= 0 || e16 <= e8 {
+		t.Errorf("energy int8 %f, int16 %f", e8, e16)
+	}
+}
+
+func TestReportGanttAndChrome(t *testing.T) {
+	rep := report(t, true)
+	var g bytes.Buffer
+	if err := rep.WriteGantt(&g, 60); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(g.String(), "compute") {
+		t.Error("gantt missing lanes")
+	}
+	var c bytes.Buffer
+	if err := rep.WriteChromeTrace(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c.String(), "traceEvents") {
+		t.Error("chrome trace malformed")
+	}
+	if rep.EngineSummary() == "" {
+		t.Error("empty engine summary")
+	}
+}
+
+func TestRunBatch(t *testing.T) {
+	g := npu.BuildModel("MobileNetV2")
+	a := npu.Exynos2100Like()
+	period, err := npu.RunBatch(g, a, npu.Stratum(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := npu.Run(g, a, npu.Stratum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if period <= 0 || period > single.LatencyMicros()+0.1 {
+		t.Errorf("period %.1f vs latency %.1f", period, single.LatencyMicros())
+	}
+}
+
+func TestAutoBalancePublicAPI(t *testing.T) {
+	g := npu.BuildModel("MobileNetV2")
+	res, err := npu.AutoBalance(g, npu.Exynos2100Like(), npu.Halo(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || len(res.Steps) != 2 {
+		t.Errorf("tune result incomplete: %+v", res)
+	}
+}
