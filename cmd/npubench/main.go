@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	which := flag.String("experiment", "all", "fig11, fig12, table1, table2, table4, table5, ablation, concurrent, or all")
+	which := flag.String("experiment", "all", "fig11, fig12, table1, table2, table4, table5, ablation, concurrent, faults, or all")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -82,5 +82,8 @@ func main() {
 		}
 		experiments.PrintConcurrent(os.Stdout, rows)
 		return nil
+	})
+	run("faults", func() error {
+		return experiments.PrintFaults(os.Stdout, "MobileNetV2")
 	})
 }

@@ -7,16 +7,22 @@
 //	npusim -model InceptionV3 -cores 3 -config stratum
 //	npusim -model MobileNetV2 -gantt 120
 //	npusim -model UNet -trace unet.json   # open in chrome://tracing
+//	npusim -model TinyCNN -faults "drop=0.02,kill=2@400000" -fault-seed 7
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/arch"
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/graph"
 	"repro/internal/models"
+	"repro/internal/recovery"
 	"repro/internal/serialize"
 	"repro/internal/sim"
 	"repro/internal/spm"
@@ -33,6 +39,8 @@ func main() {
 	traceOut := flag.String("trace", "", "write Chrome trace JSON to this file")
 	gantt := flag.Int("gantt", 0, "print a text Gantt chart this many columns wide")
 	mem := flag.Bool("mem", false, "profile SPM occupancy per core")
+	faults := flag.String("faults", "", `fault spec, e.g. "drop=0.02,throttle=1@50000x0.5,kill=2@400000"`)
+	faultSeed := flag.Uint64("fault-seed", 0, "seed for probabilistic fault decisions")
 	flag.Parse()
 
 	if *inFile != "" {
@@ -63,6 +71,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *faults != "" {
+		plan, err := fault.ParseSpec(*faults, *faultSeed)
+		if err != nil {
+			fatal(err)
+		}
+		runFaulted(g, a, opt, res, plan)
+		return
+	}
+
 	needTrace := *traceOut != "" || *gantt > 0 || *mem
 	out, err := sim.Run(res.Program, sim.Config{CollectTrace: needTrace})
 	if err != nil {
@@ -110,6 +128,54 @@ func main() {
 		}
 		fmt.Printf("trace written to %s (open in chrome://tracing)\n", *traceOut)
 	}
+}
+
+// runFaulted simulates under a fault plan and, when a core dies,
+// recovers the unexecuted suffix onto the surviving cores.
+func runFaulted(g *graph.Graph, a *arch.Arch, opt core.Options, res *core.Result, plan *fault.Plan) {
+	clock := a.ClockMHz
+	printRetries := func(per []sim.CoreStats) {
+		total := 0
+		for _, cs := range per {
+			total += cs.Retries
+		}
+		if total > 0 {
+			fmt.Printf("  %d DMA transfers dropped and re-issued\n", total)
+		}
+	}
+
+	out, err := sim.Run(res.Program, sim.Config{Faults: plan})
+	if err == nil {
+		fmt.Printf("%s on %s, %s under faults [%s]: %.1f us end-to-end\n",
+			g.Name, a.Name, opt.Name(), plan, out.Stats.LatencyMicros(clock))
+		printRetries(out.Stats.PerCore)
+		return
+	}
+	var cf *sim.CoreFailure
+	if !errors.As(err, &cf) {
+		fatal(err)
+	}
+
+	rec, err := recovery.Recover(g, a, cf, recovery.Options{Opt: opt, Sim: sim.Config{Faults: plan}})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s on %s, %s under faults [%s]: degraded but recovered\n",
+		g.Name, a.Name, opt.Name(), plan)
+	for _, f := range rec.Failures {
+		fmt.Printf("  core %s failed (%s) at cycle %.0f, checkpoint %d layers\n",
+			a.Cores[f.Core].Name, f.Kind, f.AtCycle, len(f.Completed))
+	}
+	var names []string
+	for _, c := range rec.Survivors {
+		names = append(names, a.Cores[c].Name)
+	}
+	fmt.Printf("  resumed on %v from %d checkpointed layers, re-executing %d\n",
+		names, len(rec.Completed), rec.ReExecutedLayers())
+	merged := rec.MergedStats()
+	fmt.Printf("  degraded latency %.1f us (re-dispatch penalties included)\n",
+		merged.LatencyMicros(clock))
+	printRetries(merged.PerCore)
 }
 
 // simulateFile replays a precompiled program artifact.

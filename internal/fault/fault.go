@@ -1,0 +1,271 @@
+// Package fault defines deterministic, seed-driven fault plans for the
+// NPU simulator: the dynamic processor conditions a mobile SoC imposes
+// on a compiled schedule. Three fault classes are modeled, mirroring
+// what deployed multicore NPUs actually suffer:
+//
+//   - transient DMA transfer failures (dropped bus transactions,
+//     re-issued with exponential backoff in simulated cycles — the
+//     retried bytes consume real shared-bus bandwidth);
+//   - sustained core slowdown (a thermal-throttle factor applied to a
+//     core's compute and DMA rates from a given cycle on);
+//   - hard core death (preemption by a higher-priority client, or a
+//     hung engine) at a given cycle.
+//
+// Every decision is a pure function of (plan, seed, transfer identity),
+// so a fixed (program, fault plan, seed) triple reproduces identical
+// simulations bit for bit. Package sim consumes plans via Config.Faults
+// and surfaces core death as a typed CoreFailure; package recovery
+// re-partitions the unexecuted schedule suffix onto surviving cores.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultMaxRetries bounds re-issues of a single DMA transfer before
+// the core is declared failed (the runtime cannot distinguish a link
+// that drops every retry from a dead one).
+const DefaultMaxRetries = 8
+
+// Throttle is a sustained slowdown of one core: from AtCycle on, the
+// core's compute and DMA rates are multiplied by Factor. A later
+// Throttle for the same core overrides the factor (it is absolute, not
+// cumulative), so a recovery-to-full-speed event is Factor: 1.
+type Throttle struct {
+	Core    int
+	AtCycle float64
+	Factor  float64 // in (0, 1]: 0.5 halves the core's rates
+}
+
+// Death is a hard core failure at AtCycle: the core executes nothing
+// from that cycle on, and any simulation still needing it fails with a
+// sim.CoreFailure carrying the last safe checkpoint.
+type Death struct {
+	Core    int
+	AtCycle float64
+}
+
+// Plan describes the faults injected into one simulation run. The zero
+// value (and a nil *Plan) injects nothing.
+//
+// Core indices refer to the simulated architecture's cores. Events
+// naming cores the architecture does not have are inert — this lets
+// one plan be reused across a full platform and the core subsets a
+// recovery run compiles for.
+type Plan struct {
+	// Seed drives every probabilistic decision. Two runs of the same
+	// program under the same plan and seed are identical.
+	Seed uint64
+	// DropRate is the per-DMA-transfer probability that the transfer
+	// fails after moving its bytes and must be re-issued from scratch.
+	DropRate float64
+	// MaxRetries bounds re-issues per transfer; a transfer dropped more
+	// than MaxRetries times fails its core. Zero means
+	// DefaultMaxRetries.
+	MaxRetries int
+	// Throttles lists sustained slowdowns, applied in AtCycle order.
+	Throttles []Throttle
+	// Deaths lists hard core failures.
+	Deaths []Death
+}
+
+// Empty reports whether the plan injects no faults at all.
+func (p *Plan) Empty() bool {
+	return p == nil || (p.DropRate <= 0 && len(p.Throttles) == 0 && len(p.Deaths) == 0)
+}
+
+// Retries returns the effective per-transfer retry bound.
+func (p *Plan) Retries() int {
+	if p == nil || p.MaxRetries <= 0 {
+		return DefaultMaxRetries
+	}
+	return p.MaxRetries
+}
+
+// Validate checks the plan's parameters are sensible. It does not
+// range-check core indices (see the Plan doc comment).
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	if p.DropRate < 0 || p.DropRate >= 1 {
+		return fmt.Errorf("fault: drop rate %g outside [0, 1)", p.DropRate)
+	}
+	if p.MaxRetries < 0 {
+		return fmt.Errorf("fault: negative retry bound %d", p.MaxRetries)
+	}
+	for _, t := range p.Throttles {
+		if t.Factor <= 0 || t.Factor > 1 {
+			return fmt.Errorf("fault: throttle factor %g outside (0, 1]", t.Factor)
+		}
+		if t.Core < 0 || t.AtCycle < 0 {
+			return fmt.Errorf("fault: throttle core %d at cycle %g", t.Core, t.AtCycle)
+		}
+	}
+	for _, d := range p.Deaths {
+		if d.Core < 0 || d.AtCycle < 0 {
+			return fmt.Errorf("fault: death core %d at cycle %g", d.Core, d.AtCycle)
+		}
+	}
+	return nil
+}
+
+// Drops decides deterministically whether the transfer identified by
+// its global instruction id fails on the given attempt (0 = first
+// issue). The decision is a pure hash of (seed, transfer, attempt).
+func (p *Plan) Drops(transfer, attempt int) bool {
+	if p == nil || p.DropRate <= 0 {
+		return false
+	}
+	h := splitmix(p.Seed ^ splitmix(uint64(transfer)+1) ^ splitmix(uint64(attempt)*0x9E3779B97F4A7C15+0xD1CE))
+	// Top 53 bits to a uniform float in [0, 1).
+	u := float64(h>>11) / float64(1<<53)
+	return u < p.DropRate
+}
+
+// BackoffCycles returns the re-issue delay after the attempt-th drop:
+// exponential in the architecture's DMA setup cost, capped so a long
+// retry chain stays bounded (attempt 1 waits 2x setup, attempt 2 4x,
+// ... up to 256x).
+func BackoffCycles(dmaSetupCycles int64, attempt int) float64 {
+	if attempt < 1 {
+		attempt = 1
+	}
+	shift := attempt
+	if shift > 8 {
+		shift = 8
+	}
+	base := dmaSetupCycles
+	if base <= 0 {
+		base = 1
+	}
+	return float64(base << uint(shift))
+}
+
+// SortedThrottles returns the throttles in AtCycle order (stable for
+// equal cycles), leaving the plan unmodified.
+func (p *Plan) SortedThrottles() []Throttle {
+	out := append([]Throttle(nil), p.Throttles...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].AtCycle < out[j].AtCycle })
+	return out
+}
+
+// SortedDeaths returns the deaths in AtCycle order.
+func (p *Plan) SortedDeaths() []Death {
+	out := append([]Death(nil), p.Deaths...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].AtCycle < out[j].AtCycle })
+	return out
+}
+
+// ParseSpec parses the command-line fault specification: a
+// comma-separated list of clauses
+//
+//	drop=RATE              per-transfer DMA drop probability in [0, 1)
+//	retries=N              per-transfer retry bound (default 8)
+//	throttle=CORE@CYCLExFACTOR  slow CORE to FACTOR of its rates from CYCLE
+//	kill=CORE@CYCLE        hard core death at CYCLE
+//
+// e.g. "drop=0.02,throttle=1@50000x0.5,kill=2@400000". The seed drives
+// the drop decisions; the same (spec, seed) is fully reproducible.
+func ParseSpec(spec string, seed uint64) (*Plan, error) {
+	p := &Plan{Seed: seed}
+	if strings.TrimSpace(spec) == "" {
+		return p, nil
+	}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: clause %q is not key=value", clause)
+		}
+		switch key {
+		case "drop":
+			r, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: drop rate %q: %v", val, err)
+			}
+			p.DropRate = r
+		case "retries":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("fault: retries %q: %v", val, err)
+			}
+			p.MaxRetries = n
+		case "throttle":
+			at, rest, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("fault: throttle %q wants CORE@CYCLExFACTOR", val)
+			}
+			cyc, fac, ok := strings.Cut(rest, "x")
+			if !ok {
+				return nil, fmt.Errorf("fault: throttle %q wants CORE@CYCLExFACTOR", val)
+			}
+			core, err := strconv.Atoi(at)
+			if err != nil {
+				return nil, fmt.Errorf("fault: throttle core %q: %v", at, err)
+			}
+			cycle, err := strconv.ParseFloat(cyc, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: throttle cycle %q: %v", cyc, err)
+			}
+			factor, err := strconv.ParseFloat(fac, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: throttle factor %q: %v", fac, err)
+			}
+			p.Throttles = append(p.Throttles, Throttle{Core: core, AtCycle: cycle, Factor: factor})
+		case "kill":
+			at, cyc, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("fault: kill %q wants CORE@CYCLE", val)
+			}
+			core, err := strconv.Atoi(at)
+			if err != nil {
+				return nil, fmt.Errorf("fault: kill core %q: %v", at, err)
+			}
+			cycle, err := strconv.ParseFloat(cyc, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: kill cycle %q: %v", cyc, err)
+			}
+			p.Deaths = append(p.Deaths, Death{Core: core, AtCycle: cycle})
+		default:
+			return nil, fmt.Errorf("fault: unknown clause %q (drop, retries, throttle, kill)", key)
+		}
+	}
+	return p, p.Validate()
+}
+
+// String renders the plan in ParseSpec syntax (seed excluded).
+func (p *Plan) String() string {
+	if p.Empty() {
+		return "none"
+	}
+	var parts []string
+	if p.DropRate > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%g", p.DropRate))
+	}
+	if p.MaxRetries > 0 {
+		parts = append(parts, fmt.Sprintf("retries=%d", p.MaxRetries))
+	}
+	for _, t := range p.Throttles {
+		parts = append(parts, fmt.Sprintf("throttle=%d@%gx%g", t.Core, t.AtCycle, t.Factor))
+	}
+	for _, d := range p.Deaths {
+		parts = append(parts, fmt.Sprintf("kill=%d@%g", d.Core, d.AtCycle))
+	}
+	return strings.Join(parts, ",")
+}
+
+// splitmix is SplitMix64, the repository's standard deterministic
+// value generator (also used by the numeric executor).
+func splitmix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

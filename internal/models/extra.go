@@ -16,6 +16,7 @@ func Extra() []Info {
 		{Name: "ResNet50", Category: "Classification", Input: tensor.NewShape(224, 224, 3), DType: tensor.Int8, Build: ResNet50},
 		{Name: "VGG16", Category: "Classification", Input: tensor.NewShape(224, 224, 3), DType: tensor.Int8, Build: VGG16},
 		{Name: "ShuffleNetV2", Category: "Classification", Input: tensor.NewShape(224, 224, 3), DType: tensor.Int8, Build: ShuffleNetV2},
+		{Name: "TinyCNN", Category: "Classification", Input: tensor.NewShape(64, 64, 3), DType: tensor.Int8, Build: TinyCNN},
 	}
 }
 

@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/plan"
+)
+
+// FailureKind classifies why a simulated core became unusable.
+type FailureKind int
+
+const (
+	// FailCoreDeath: a fault.Death fired while the core still had
+	// unexecuted instructions.
+	FailCoreDeath FailureKind = iota
+	// FailDMAExhausted: a single DMA transfer was dropped more times
+	// than the plan's retry bound — the runtime treats the core's link
+	// as dead.
+	FailDMAExhausted
+)
+
+func (k FailureKind) String() string {
+	switch k {
+	case FailCoreDeath:
+		return "core-death"
+	case FailDMAExhausted:
+		return "dma-retries-exhausted"
+	}
+	return fmt.Sprintf("FailureKind(%d)", int(k))
+}
+
+// CoreFailure is the typed error a fault-injected run returns when a
+// core becomes unusable mid-program. It carries everything a recovery
+// runtime needs: which core died, when, the checkpoint to resume from,
+// and the statistics accumulated up to the failure (so degraded-mode
+// latency can account for the wasted cycles).
+type CoreFailure struct {
+	Kind FailureKind
+	// Core is the global core index that failed.
+	Core int
+	// Placement indexes the placement the core was running (0 for
+	// single-program Run; -1 if the core was unassigned).
+	Placement int
+	// AtCycle is the simulated time of the failure.
+	AtCycle float64
+	// Completed is the checkpoint: the longest prefix of the failed
+	// placement's layer execution order (its strata, flattened) whose
+	// layers all finished every instruction AND whose results needed
+	// outside the prefix were stored to global memory. Because
+	// forwarding and stratum layers keep intermediates in SPM without
+	// stores, this cut naturally falls on a barrier or stratum
+	// boundary — exactly the paper's synchronization points.
+	Completed []graph.LayerID
+	// Partial holds the statistics accumulated up to AtCycle.
+	Partial Stats
+}
+
+func (f *CoreFailure) Error() string {
+	return fmt.Sprintf("sim: core %d failed (%s) at cycle %.0f with %d layers checkpointed",
+		f.Core, f.Kind, f.AtCycle, len(f.Completed))
+}
+
+// faultState is the per-run mutable view of a fault.Plan: pending
+// timed events plus the current speed/liveness of every core.
+type faultState struct {
+	plan       *fault.Plan
+	maxRetries int
+	speed      []float64
+	dead       []bool
+	throttles  []fault.Throttle // pending, sorted by AtCycle
+	deaths     []fault.Death    // pending, sorted by AtCycle
+}
+
+// firedEvent is one fault event applied at the current time.
+type firedEvent struct {
+	death    bool
+	core     int
+	oldSpeed float64
+	newSpeed float64
+}
+
+// newFaultState validates and instantiates a plan for ncores cores.
+// An empty (or nil) plan yields a nil state, keeping the fault-free
+// simulation path untouched. Events naming cores outside the
+// architecture are dropped here — inert by contract.
+func newFaultState(p *fault.Plan, ncores int) (*faultState, error) {
+	if p.Empty() {
+		return nil, nil
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	fs := &faultState{
+		plan:       p,
+		maxRetries: p.Retries(),
+		speed:      make([]float64, ncores),
+		dead:       make([]bool, ncores),
+	}
+	for i := range fs.speed {
+		fs.speed[i] = 1
+	}
+	for _, t := range p.SortedThrottles() {
+		if t.Core < ncores {
+			fs.throttles = append(fs.throttles, t)
+		}
+	}
+	for _, d := range p.SortedDeaths() {
+		if d.Core < ncores {
+			fs.deaths = append(fs.deaths, d)
+		}
+	}
+	return fs, nil
+}
+
+// next returns the earliest pending fault-event time, or +Inf.
+func (fs *faultState) next() float64 {
+	t := math.Inf(1)
+	if len(fs.throttles) > 0 {
+		t = fs.throttles[0].AtCycle
+	}
+	if len(fs.deaths) > 0 && fs.deaths[0].AtCycle < t {
+		t = fs.deaths[0].AtCycle
+	}
+	return t
+}
+
+// fire pops and applies every event due at or before now, in time
+// order, and returns them for the simulator to act on (rescaling
+// in-flight compute, failing dead cores with pending work).
+func (fs *faultState) fire(now float64) []firedEvent {
+	var out []firedEvent
+	for {
+		tT, tD := math.Inf(1), math.Inf(1)
+		if len(fs.throttles) > 0 {
+			tT = fs.throttles[0].AtCycle
+		}
+		if len(fs.deaths) > 0 {
+			tD = fs.deaths[0].AtCycle
+		}
+		switch {
+		case tT <= now+eps && tT <= tD:
+			th := fs.throttles[0]
+			fs.throttles = fs.throttles[1:]
+			old := fs.speed[th.Core]
+			fs.speed[th.Core] = th.Factor
+			out = append(out, firedEvent{core: th.Core, oldSpeed: old, newSpeed: th.Factor})
+		case tD <= now+eps:
+			d := fs.deaths[0]
+			fs.deaths = fs.deaths[1:]
+			fs.dead[d.Core] = true
+			out = append(out, firedEvent{death: true, core: d.Core})
+		default:
+			return out
+		}
+	}
+}
+
+// checkpoint computes the recovery cut for a partially executed
+// program: the longest prefix of the flattened strata order such that
+// (a) every prefix layer completed all its instructions, and (b) every
+// prefix layer with a consumer outside the prefix published its output
+// to global memory via at least one Store. Condition (b) is what makes
+// the cut safe — forwarded/stratum intermediates live only in the dead
+// core's SPM and cannot seed a resumed run.
+func checkpoint(p *plan.Program, done, total []int, hasStore []bool) []graph.LayerID {
+	var order []graph.LayerID
+	for _, s := range p.Strata {
+		order = append(order, s...)
+	}
+	if len(order) == 0 {
+		return nil
+	}
+	pos := make(map[graph.LayerID]int, len(order))
+	for i, id := range order {
+		pos[id] = i
+	}
+	// k = longest fully-executed prefix.
+	k := 0
+	for k < len(order) {
+		id := order[k]
+		if done[id] < total[id] {
+			break
+		}
+		k++
+	}
+	// Largest j <= k where every prefix layer is either stored or has
+	// all consumers inside the prefix.
+	for j := k; j > 0; j-- {
+		ok := true
+		for i := 0; i < j && ok; i++ {
+			id := order[i]
+			if hasStore[id] {
+				continue
+			}
+			for _, u := range p.Graph.Users(id) {
+				pu, in := pos[u]
+				if !in || pu >= j {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return append([]graph.LayerID(nil), order[:j]...)
+		}
+	}
+	return nil
+}

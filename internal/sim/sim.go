@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/cost"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/plan"
 )
@@ -35,7 +36,10 @@ type Event struct {
 	Tile  int
 	Start float64 // cycles
 	End   float64 // cycles
-	Note  string
+	// Retries counts how many times this instruction's DMA transfer
+	// was dropped and re-issued before succeeding (fault injection).
+	Retries int
+	Note    string
 }
 
 // CoreStats aggregates one core's activity.
@@ -48,7 +52,10 @@ type CoreStats struct {
 	BytesLoaded int64
 	BytesStored int64
 	MACs        int64
-	Finish      float64 // completion time of the core's last instruction
+	// Retries counts injected DMA transfer drops that were re-issued
+	// on this core (zero without fault injection).
+	Retries int
+	Finish  float64 // completion time of the core's last instruction
 }
 
 // Stats is the outcome of one simulated run.
@@ -64,8 +71,13 @@ type Stats struct {
 	ProgramCycles []float64
 }
 
-// LatencyMicros converts the latency using the program's clock.
+// LatencyMicros converts the latency using the program's clock. A
+// zero or negative clock is meaningless; the contract is to return 0
+// rather than let +Inf/NaN leak into reports.
 func (s *Stats) LatencyMicros(clockMHz int) float64 {
+	if clockMHz <= 0 {
+		return 0
+	}
 	return s.TotalCycles / float64(clockMHz)
 }
 
@@ -93,7 +105,12 @@ func (s *Stats) TotalBytes() int64 {
 // exchange. The dtype factor is folded into the recorded MAC counts'
 // compute times, so INT16 models approximate with the INT8 MAC cost
 // times two.
+// Negative cost coefficients are meaningless and yield 0, matching
+// the LatencyMicros contract.
 func (s *Stats) EnergyMicroJoules(pjPerMAC, pjPerDRAMByte float64, int16Model bool) float64 {
+	if pjPerMAC < 0 || pjPerDRAMByte < 0 {
+		return 0
+	}
 	macPJ := pjPerMAC
 	if int16Model {
 		macPJ *= 2
@@ -111,6 +128,10 @@ type Result struct {
 type Config struct {
 	// CollectTrace records every instruction interval.
 	CollectTrace bool
+	// Faults injects deterministic faults (nil or empty: none). A run
+	// that loses a core returns a *CoreFailure error carrying the
+	// checkpoint recovery resumes from.
+	Faults *fault.Plan
 }
 
 const eps = 1e-6
@@ -125,6 +146,7 @@ type node struct {
 	remaining  float64 // bytes left (DMA) — unused for compute/barrier
 	setupUntil float64 // DMA descriptor setup completes at this time
 	finish     float64 // scheduled completion (compute/barrier)
+	attempt    int     // DMA re-issues so far (fault injection)
 }
 
 type engineState struct {
@@ -170,6 +192,17 @@ func Run(p *plan.Program, cfg Config) (*Result, error) {
 func RunConcurrent(a *arch.Arch, placements []Placement, cfg Config) (*Result, error) {
 	model := cost.New(a)
 	ncores := a.NumCores()
+
+	fs, err := newFaultState(cfg.Faults, ncores)
+	if err != nil {
+		return nil, err
+	}
+	speedOf := func(c int) float64 {
+		if fs == nil {
+			return 1
+		}
+		return fs.speed[c]
+	}
 
 	// Validate placements: disjoint cores, in range, matching widths.
 	owner := make([]int, ncores)
@@ -245,6 +278,37 @@ func RunConcurrent(a *arch.Arch, placements []Placement, cfg Config) (*Result, e
 		}
 	}
 
+	// Per-placement layer accounting for checkpoint recovery: how many
+	// instructions each layer owes vs. has completed, and whether any
+	// of them publishes the layer's output to global memory.
+	var layerDone, layerTotal [][]int
+	var layerStore [][]bool
+	pending := make([]int, ncores)
+	if fs != nil {
+		layerDone = make([][]int, len(placements))
+		layerTotal = make([][]int, len(placements))
+		layerStore = make([][]bool, len(placements))
+		for pi, pl := range placements {
+			nl := pl.Program.Graph.Len()
+			layerDone[pi] = make([]int, nl)
+			layerTotal[pi] = make([]int, nl)
+			layerStore[pi] = make([]bool, nl)
+			for _, stream := range pl.Program.Cores {
+				for _, in := range stream {
+					layerTotal[pi][in.Layer]++
+					// Only plan.Store reaches global memory; halo stores land
+				// in a peer's SPM and die with it.
+				if in.Op == plan.Store {
+						layerStore[pi][in.Layer] = true
+					}
+				}
+			}
+		}
+		for nid := 0; nid < total; nid++ {
+			pending[coreOf[nid]]++
+		}
+	}
+
 	totalBarriers := 0
 	for _, bs := range barriers {
 		totalBarriers += len(bs)
@@ -297,11 +361,15 @@ func RunConcurrent(a *arch.Arch, placements []Placement, cfg Config) (*Result, e
 		if t > stats.ProgramCycles[progOf[nid]] {
 			stats.ProgramCycles[progOf[nid]] = t
 		}
+		if fs != nil {
+			layerDone[progOf[nid]][n.in.Layer]++
+			pending[c]--
+		}
 		busyIntervals[c] = append(busyIntervals[c], [2]float64{n.start, t})
 		if cfg.CollectTrace {
 			trace = append(trace, Event{
 				Core: c, Index: indexOf[nid], Op: n.in.Op, Layer: n.in.Layer, Tile: n.in.Tile,
-				Start: n.start, End: t, Note: n.in.Note,
+				Start: n.start, End: t, Retries: n.attempt, Note: n.in.Note,
 			})
 		}
 		es := &engines[c][n.in.Op.Engine()]
@@ -337,7 +405,7 @@ func RunConcurrent(a *arch.Arch, placements []Placement, cfg Config) (*Result, e
 					switch n.in.Op.Engine() {
 					case plan.EngineCompute:
 						dt := placements[pi].Program.Graph.Layer(n.in.Layer).DType
-						n.finish = now + float64(model.ComputeCycles(c, n.in.MACs, dt))
+						n.finish = now + float64(model.ComputeCycles(c, n.in.MACs, dt))/speedOf(c)
 						es.busy = nid
 					case plan.EngineLoad, plan.EngineStore:
 						n.remaining = float64(n.in.Bytes)
@@ -391,7 +459,7 @@ func RunConcurrent(a *arch.Arch, placements []Placement, cfg Config) (*Result, e
 					pendingSetup = append(pendingSetup, nid)
 					continue
 				}
-				ch := channel{nid: nid, cap: a.Cores[c].DMABytesPerCycle}
+				ch := channel{nid: nid, cap: a.Cores[c].DMABytesPerCycle * speedOf(c)}
 				op := nodes[nid].in.Op
 				if a.DirectHaloInterconnect && (op == plan.StoreHalo || op == plan.LoadHalo) {
 					direct = append(direct, ch)
@@ -416,7 +484,51 @@ func RunConcurrent(a *arch.Arch, placements []Placement, cfg Config) (*Result, e
 		return append(chans, direct...)
 	}
 
+	// failCore snapshots the run state into a typed CoreFailure.
+	failCore := func(kind FailureKind, core int) *CoreFailure {
+		partial := stats
+		partial.PerCore = append([]CoreStats(nil), stats.PerCore...)
+		partial.ProgramCycles = append([]float64(nil), stats.ProgramCycles...)
+		partial.TotalCycles = now
+		for c := 0; c < ncores; c++ {
+			idle := now - unionLength(busyIntervals[c])
+			if idle < 0 {
+				idle = 0
+			}
+			partial.PerCore[c].Idle = idle
+		}
+		pi := owner[core]
+		var comp []graph.LayerID
+		if pi >= 0 {
+			comp = checkpoint(placements[pi].Program, layerDone[pi], layerTotal[pi], layerStore[pi])
+		}
+		return &CoreFailure{
+			Kind: kind, Core: core, Placement: pi, AtCycle: now,
+			Completed: comp, Partial: partial,
+		}
+	}
+
 	for completed < total {
+		// Fault events due now fire before new work issues: a throttle
+		// rescales the core's in-flight compute; a death fails the run
+		// if the core still owes instructions (and is inert otherwise).
+		if fs != nil {
+			for _, ev := range fs.fire(now) {
+				if ev.death {
+					if owner[ev.core] >= 0 && pending[ev.core] > 0 {
+						return nil, failCore(FailCoreDeath, ev.core)
+					}
+					continue
+				}
+				if nid := engines[ev.core][plan.EngineCompute].busy; nid >= 0 {
+					n := &nodes[nid]
+					if n.finish > now {
+						n.finish = now + (n.finish-now)*ev.oldSpeed/ev.newSpeed
+					}
+				}
+			}
+		}
+
 		issueAll()
 		chans := allocate()
 
@@ -448,6 +560,11 @@ func RunConcurrent(a *arch.Arch, placements []Placement, cfg Config) (*Result, e
 				}
 			}
 		}
+		if fs != nil {
+			if t := fs.next(); t > now && t < next {
+				next = t
+			}
+		}
 		if math.IsInf(next, 1) {
 			return nil, fmt.Errorf("sim: deadlock at t=%.0f with %d/%d instructions done", now, completed, total)
 		}
@@ -464,9 +581,24 @@ func RunConcurrent(a *arch.Arch, placements []Placement, cfg Config) (*Result, e
 
 		// Complete everything due.
 		for _, ch := range chans {
-			if nodes[ch.nid].remaining <= eps && !nodes[ch.nid].done {
-				finishNode(ch.nid, now)
+			n := &nodes[ch.nid]
+			if n.remaining > eps || n.done {
+				continue
 			}
+			// An injected drop fails the transfer after it moved its
+			// bytes: the bandwidth was spent, the data must be re-sent
+			// after an exponential backoff.
+			if fs != nil && fs.plan.Drops(ch.nid, n.attempt) {
+				n.attempt++
+				stats.PerCore[coreOf[ch.nid]].Retries++
+				if n.attempt > fs.maxRetries {
+					return nil, failCore(FailDMAExhausted, coreOf[ch.nid])
+				}
+				n.remaining = float64(n.in.Bytes)
+				n.setupUntil = now + fault.BackoffCycles(a.DMASetupCycles, n.attempt)
+				continue
+			}
+			finishNode(ch.nid, now)
 		}
 		for c := 0; c < ncores; c++ {
 			if nid := engines[c][plan.EngineCompute].busy; nid >= 0 {

@@ -1,0 +1,90 @@
+package npu
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/recovery"
+	"repro/internal/sim"
+)
+
+// Fault-tolerance aliases: inject deterministic faults into simulated
+// runs and recover from core death onto the surviving cores.
+type (
+	// FaultPlan describes the faults injected into a run (DMA drops,
+	// thermal throttles, core deaths); see ParseFaultSpec for the
+	// command-line syntax.
+	FaultPlan = fault.Plan
+	// FaultThrottle is a sustained core slowdown from a given cycle.
+	FaultThrottle = fault.Throttle
+	// FaultDeath is a hard core failure at a given cycle.
+	FaultDeath = fault.Death
+	// CoreFailure is the typed error a fault-injected run returns when
+	// a core becomes unusable; it carries the recovery checkpoint.
+	CoreFailure = sim.CoreFailure
+	// RecoveryResult describes a completed degradation path: failures
+	// handled, surviving cores, recompiled suffix, merged statistics.
+	RecoveryResult = recovery.Result
+)
+
+// ParseFaultSpec parses the "drop=0.02,throttle=1@50000x0.5,
+// kill=2@400000" command-line fault syntax; the seed drives the
+// probabilistic drop decisions.
+func ParseFaultSpec(spec string, seed uint64) (*FaultPlan, error) {
+	return fault.ParseSpec(spec, seed)
+}
+
+// FaultReport is a Report whose run was subjected to a fault plan.
+// When a core died, Stats merges the wasted attempts with the
+// recovered rerun, and Recovery holds the degradation details.
+type FaultReport struct {
+	Report
+	// Failures lists every core failure survived, in order. Empty when
+	// the run completed without losing a core (drops and throttles may
+	// still have slowed it — see Stats.PerCore Retries).
+	Failures []*CoreFailure
+	// Recovery is the degradation path taken, nil if no core was lost.
+	Recovery *RecoveryResult
+}
+
+// Degraded reports whether the run lost at least one core.
+func (fr *FaultReport) Degraded() bool { return len(fr.Failures) > 0 }
+
+// RunWithFaults compiles g, simulates it under the fault plan, and —
+// if a core dies — re-partitions the unexecuted suffix onto the
+// surviving cores and resumes from the checkpoint, repeating on
+// cascading failures. Recovery never changes numerics (see
+// ValidateRecovery); it only costs latency, which the report's merged
+// statistics account for, re-dispatch penalties included.
+func RunWithFaults(g *Graph, a *Arch, opt Options, plan *FaultPlan) (*FaultReport, error) {
+	res, err := Compile(g, a, opt)
+	if err != nil {
+		return nil, err
+	}
+	simCfg := sim.Config{Faults: plan}
+	out, err := sim.Run(res.Program, simCfg)
+	if err == nil {
+		return &FaultReport{Report: Report{Stats: out.Stats, Arch: a, Config: opt.Name()}}, nil
+	}
+	var cf *CoreFailure
+	if !errors.As(err, &cf) {
+		return nil, err
+	}
+	rec, err := recovery.Recover(g, a, cf, recovery.Options{Opt: opt, Sim: simCfg})
+	if err != nil {
+		return nil, fmt.Errorf("npu: run failed and could not recover: %w", err)
+	}
+	return &FaultReport{
+		Report:   Report{Stats: rec.MergedStats(), Arch: a, Config: opt.Name()},
+		Failures: rec.Failures,
+		Recovery: rec,
+	}, nil
+}
+
+// ValidateRecovery proves a recovered run reproduced the whole-graph
+// reference bit-exactly. It is slow on full benchmark models; use
+// small graphs.
+func ValidateRecovery(g *Graph, r *RecoveryResult) error {
+	return recovery.Validate(g, r)
+}

@@ -1,0 +1,89 @@
+package npu_test
+
+import (
+	"testing"
+
+	"repro/npu"
+)
+
+func TestBuildModelByName(t *testing.T) {
+	g, err := npu.BuildModelByName("MobileNetV2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() == 0 {
+		t.Fatal("empty model")
+	}
+	if _, err := npu.BuildModelByName("nope"); err == nil {
+		t.Fatal("unknown model did not error")
+	}
+}
+
+func TestParseFaultSpec(t *testing.T) {
+	p, err := npu.ParseFaultSpec("drop=0.05,kill=2@400000", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DropRate != 0.05 || len(p.Deaths) != 1 || p.Seed != 11 {
+		t.Errorf("parsed %+v", p)
+	}
+	if _, err := npu.ParseFaultSpec("bogus=1", 0); err == nil {
+		t.Error("bad spec accepted")
+	}
+}
+
+func TestRunWithFaultsCleanPlan(t *testing.T) {
+	g := npu.BuildModel("TinyCNN")
+	rep, err := npu.RunWithFaults(g, npu.Exynos2100Like(), npu.Halo(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degraded() {
+		t.Error("fault-free run reported degraded")
+	}
+	if rep.LatencyMicros() <= 0 {
+		t.Error("non-positive latency")
+	}
+}
+
+func TestRunWithFaultsSurvivesCoreDeath(t *testing.T) {
+	g := npu.BuildModel("TinyCNN")
+	a := npu.Exynos2100Like()
+	opt := npu.Stratum()
+	clean, err := npu.Run(g, a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &npu.FaultPlan{Deaths: []npu.FaultDeath{
+		{Core: 1, AtCycle: 0.5 * clean.Stats.TotalCycles},
+	}}
+	rep, err := npu.RunWithFaults(g, a, opt, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded() || len(rep.Failures) != 1 || rep.Recovery == nil {
+		t.Fatalf("degradation not reported: %+v", rep)
+	}
+	if rep.Stats.TotalCycles <= clean.Stats.TotalCycles {
+		t.Errorf("degraded run %.0f not slower than clean %.0f",
+			rep.Stats.TotalCycles, clean.Stats.TotalCycles)
+	}
+	if err := npu.ValidateRecovery(g, rep.Recovery); err != nil {
+		t.Errorf("recovery changed numerics: %v", err)
+	}
+}
+
+func TestReportGuardsZeroClock(t *testing.T) {
+	a := npu.Exynos2100Like()
+	g := npu.BuildModel("TinyCNN")
+	rep, err := npu.Run(g, a, npu.Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := *a
+	broken.ClockMHz = 0
+	rep.Arch = &broken
+	if got := rep.LatencyMicros(); got != 0 {
+		t.Errorf("zero-clock latency %g, want 0", got)
+	}
+}

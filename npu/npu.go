@@ -105,14 +105,25 @@ var (
 // Models returns the six benchmark networks of Table 2.
 func Models() []ModelInfo { return models.All() }
 
-// BuildModel constructs a benchmark network by name; it panics on an
-// unknown name (use Models for the list).
-func BuildModel(name string) *Graph {
+// BuildModelByName constructs a benchmark network by name, returning
+// an error on an unknown name (use Models for the list).
+func BuildModelByName(name string) (*Graph, error) {
 	m, err := models.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return m.Build(), nil
+}
+
+// BuildModel constructs a benchmark network by name; it panics on an
+// unknown name (use Models for the list, or BuildModelByName for the
+// non-panicking variant).
+func BuildModel(name string) *Graph {
+	g, err := BuildModelByName(name)
 	if err != nil {
 		panic(err)
 	}
-	return m.Build()
+	return g
 }
 
 // Compile lowers a network for an architecture under the given
@@ -133,7 +144,9 @@ type Report struct {
 	Config string
 }
 
-// LatencyMicros returns the end-to-end inference latency.
+// LatencyMicros returns the end-to-end inference latency. If the
+// architecture's clock is zero or negative it returns 0 (never
+// +Inf/NaN) — see sim.Stats.LatencyMicros.
 func (r *Report) LatencyMicros() float64 {
 	return r.Stats.LatencyMicros(r.Arch.ClockMHz)
 }
@@ -211,7 +224,8 @@ func AutoBalance(g *Graph, a *Arch, opt Options, iters int) (*TuneResult, error)
 
 // RunBatch simulates n back-to-back inferences and returns the
 // steady-state inference period in microseconds (sustained-throughput
-// metric) next to the single-shot latency report.
+// metric) next to the single-shot latency report. A zero or negative
+// clock yields 0, matching the LatencyMicros contract.
 func RunBatch(g *Graph, a *Arch, opt Options, n int) (periodUS float64, err error) {
 	res, err := Compile(g, a, opt)
 	if err != nil {
@@ -220,6 +234,9 @@ func RunBatch(g *Graph, a *Arch, opt Options, n int) (periodUS float64, err erro
 	period, _, err := sim.Throughput(res.Program, n, sim.Config{})
 	if err != nil {
 		return 0, err
+	}
+	if a.ClockMHz <= 0 {
+		return 0, nil
 	}
 	return period / float64(a.ClockMHz), nil
 }
