@@ -16,6 +16,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/arch"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/models"
+	"repro/internal/parallel"
 	"repro/internal/partition"
 	"repro/internal/sim"
 )
@@ -193,6 +195,70 @@ func BenchmarkAblationCores(b *testing.B) {
 			runPoint(b, g, arch.Homogeneous(n), core.Stratum())
 		})
 	}
+}
+
+// BenchmarkSweepWorkers measures the toolchain wall-clock of a full
+// compile+simulate sweep (Table 5) at one worker versus all available
+// cores. The cache is cold every iteration so the comparison isolates
+// the fan-out; the latency_us metric of the sweep itself is untouched
+// by the worker count (see the determinism tests).
+func BenchmarkSweepWorkers(b *testing.B) {
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			prev := parallel.SetWorkers(w)
+			defer parallel.SetWorkers(prev)
+			for i := 0; i < b.N; i++ {
+				core.ResetCache()
+				if _, err := experiments.Table5(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig11Workers is the headline sweep (six models, four
+// configurations each) at one worker versus all available cores.
+func BenchmarkFig11Workers(b *testing.B) {
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			prev := parallel.SetWorkers(w)
+			defer parallel.SetWorkers(prev)
+			for i := 0; i < b.N; i++ {
+				core.ResetCache()
+				if _, err := experiments.Fig11(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompileCached isolates the compile-result cache: "miss"
+// resets the cache each iteration, "hit" replays a warm entry.
+func BenchmarkCompileCached(b *testing.B) {
+	g := models.InceptionV3()
+	a := arch.Exynos2100Like()
+	b.Run("miss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.ResetCache()
+			if _, err := core.CompileCached(g, a, core.Stratum()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		core.ResetCache()
+		if _, err := core.CompileCached(g, a, core.Stratum()); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.CompileCached(g, a, core.Stratum()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSimulate measures simulator throughput on precompiled

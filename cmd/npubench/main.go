@@ -12,14 +12,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/arch"
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 func main() {
 	which := flag.String("experiment", "all", "fig11, fig12, table1, table2, table4, table5, ablation, concurrent, faults, or all")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for compile/simulate sweeps (1 forces serial)")
 	flag.Parse()
+	parallel.SetWorkers(*jobs)
 
 	run := func(name string, f func() error) {
 		if *which != "all" && *which != name {

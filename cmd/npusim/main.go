@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/arch"
 	"repro/internal/cliutil"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/models"
+	"repro/internal/parallel"
 	"repro/internal/recovery"
 	"repro/internal/serialize"
 	"repro/internal/sim"
@@ -41,7 +43,9 @@ func main() {
 	mem := flag.Bool("mem", false, "profile SPM occupancy per core")
 	faults := flag.String("faults", "", `fault spec, e.g. "drop=0.02,throttle=1@50000x0.5,kill=2@400000"`)
 	faultSeed := flag.Uint64("fault-seed", 0, "seed for probabilistic fault decisions")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for partition planning and reference kernels (1 forces serial)")
 	flag.Parse()
+	parallel.SetWorkers(*jobs)
 
 	if *inFile != "" {
 		simulateFile(*inFile, *traceOut, *gantt)

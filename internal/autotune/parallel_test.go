@@ -1,0 +1,63 @@
+package autotune
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/parallel"
+)
+
+// TestAutoBalanceParallelMatchesSerial asserts that evaluating the
+// per-iteration candidate set concurrently commits exactly the
+// schedule the serial evaluation commits: same steps, same latencies,
+// same winning scale vectors, same instruction streams.
+func TestAutoBalanceParallelMatchesSerial(t *testing.T) {
+	g := models.ConvChain(6, 64, 64, 16)
+	a := arch.Exynos2100Like()
+	a.Cores[2].DMABytesPerCycle = 2 // skew so rebalancing actually moves
+
+	prev := parallel.SetWorkers(1)
+	serial, err := AutoBalance(g, a, core.Halo(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel.SetWorkers(8)
+	par, err := AutoBalance(g, a, core.Halo(), 4)
+	parallel.SetWorkers(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if serial.BestLatencyCycles != par.BestLatencyCycles {
+		t.Errorf("best latency differs: serial %.0f vs parallel %.0f",
+			serial.BestLatencyCycles, par.BestLatencyCycles)
+	}
+	if serial.Evaluated != par.Evaluated {
+		t.Errorf("evaluated %d vs %d", serial.Evaluated, par.Evaluated)
+	}
+	if !reflect.DeepEqual(serial.Steps, par.Steps) {
+		t.Errorf("step traces differ:\nserial:   %+v\nparallel: %+v", serial.Steps, par.Steps)
+	}
+	if !reflect.DeepEqual(serial.Best.Program.Cores, par.Best.Program.Cores) {
+		t.Error("winning instruction streams differ between serial and parallel")
+	}
+}
+
+// TestAutoBalanceEvaluatedCount checks the candidate-set accounting:
+// one unscaled point, then one point per damping per later iteration.
+func TestAutoBalanceEvaluatedCount(t *testing.T) {
+	g := models.TinyCNN()
+	res, err := AutoBalance(g, arch.Exynos2100Like(), core.Base(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 + 2*len(dampings); res.Evaluated != want {
+		t.Errorf("Evaluated = %d, want %d", res.Evaluated, want)
+	}
+	if len(res.Steps) != 3 {
+		t.Errorf("steps = %d, want 3", len(res.Steps))
+	}
+}

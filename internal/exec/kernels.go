@@ -4,8 +4,31 @@ import (
 	"fmt"
 
 	"repro/internal/ops"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
+
+// shardMinOps is the approximate operation count below which a kernel
+// stays serial: smaller regions cannot amortize the pool handoff.
+const shardMinOps = 1 << 15
+
+// shard runs fn(i) for i in [0, n) — each index covering a disjoint
+// slice of the output, so writes never overlap — fanning out across
+// the worker pool when n*opsPerIndex is large enough to pay for it.
+// Out-of-view panics (the halo-validation mechanism) surface on the
+// calling goroutine either way, so guard() in validate.go still works.
+func shard(n, opsPerIndex int, fn func(i int)) {
+	if n < 2 || n*opsPerIndex < shardMinOps || parallel.Serial() {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	parallel.ForEach(n, func(i int) error {
+		fn(i)
+		return nil
+	})
+}
 
 // read returns the input element at absolute (h, w, c): zero when the
 // coordinates fall outside the full input shape (implicit padding),
@@ -70,7 +93,8 @@ func applyConv(o ops.Conv2D, out tensor.Region, in *View, inShape tensor.Shape, 
 	}
 	inCg := inShape.C / groups
 	outCg := o.OutC / groups
-	for oh := out.Off.H; oh < out.End(tensor.AxisH); oh++ {
+	shard(out.Ext.H, out.Ext.W*out.Ext.C*o.KH*o.KW*inCg, func(row int) {
+		oh := out.Off.H + row
 		for ow := out.Off.W; ow < out.End(tensor.AxisW); ow++ {
 			for oc := out.Off.C; oc < out.End(tensor.AxisC); oc++ {
 				acc := w.Bias(oc)
@@ -93,13 +117,14 @@ func applyConv(o ops.Conv2D, out tensor.Region, in *View, inShape tensor.Shape, 
 				res.Set(oh, ow, oc, acc)
 			}
 		}
-	}
+	})
 	return res
 }
 
 func applyDepthwise(o ops.DepthwiseConv2D, out tensor.Region, in *View, inShape tensor.Shape, w *Weights) *View {
 	res := NewView(out)
-	for oh := out.Off.H; oh < out.End(tensor.AxisH); oh++ {
+	shard(out.Ext.H, out.Ext.W*out.Ext.C*o.KH*o.KW, func(row int) {
+		oh := out.Off.H + row
 		for ow := out.Off.W; ow < out.End(tensor.AxisW); ow++ {
 			for oc := out.Off.C; oc < out.End(tensor.AxisC); oc++ {
 				acc := w.Bias(oc)
@@ -119,13 +144,14 @@ func applyDepthwise(o ops.DepthwiseConv2D, out tensor.Region, in *View, inShape 
 				res.Set(oh, ow, oc, acc)
 			}
 		}
-	}
+	})
 	return res
 }
 
 func applyTransposeConv(o ops.TransposeConv2D, out tensor.Region, in *View, inShape tensor.Shape, w *Weights) *View {
 	res := NewView(out)
-	for oh := out.Off.H; oh < out.End(tensor.AxisH); oh++ {
+	shard(out.Ext.H, out.Ext.W*out.Ext.C*o.KH*o.KW*inShape.C, func(row int) {
+		oh := out.Off.H + row
 		for ow := out.Off.W; ow < out.End(tensor.AxisW); ow++ {
 			for oc := out.Off.C; oc < out.End(tensor.AxisC); oc++ {
 				acc := w.Bias(oc)
@@ -155,7 +181,7 @@ func applyTransposeConv(o ops.TransposeConv2D, out tensor.Region, in *View, inSh
 				res.Set(oh, ow, oc, acc)
 			}
 		}
-	}
+	})
 	return res
 }
 
@@ -236,13 +262,14 @@ func applyGlobalAvgPool(out tensor.Region, in *View, inShape tensor.Shape) *View
 
 func applyFC(o ops.FullyConnected, out tensor.Region, in *View, inShape tensor.Shape, w *Weights) *View {
 	res := NewView(out)
-	for oc := out.Off.C; oc < out.End(tensor.AxisC); oc++ {
+	shard(out.Ext.C, inShape.C, func(ci int) {
+		oc := out.Off.C + ci
 		acc := w.Bias(oc)
 		for ic := 0; ic < inShape.C; ic++ {
 			acc += in.At(0, 0, ic) * w.Conv(oc, 0, 0, ic, 1, 1, inShape.C)
 		}
 		res.Set(0, 0, oc, acc)
-	}
+	})
 	return res
 }
 

@@ -1,0 +1,81 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// shardedOpsGraph exercises every sharded kernel (dense conv, grouped
+// conv, depthwise, transpose conv, FC) at sizes past the shard
+// threshold, kept small enough for the race detector.
+func shardedOpsGraph() *graph.Graph {
+	g := graph.New("sharded-ops", tensor.Int8)
+	in := g.Input("in", tensor.NewShape(32, 32, 16))
+	conv := g.MustAdd("conv", ops.Conv2D{OutC: 16, KH: 3, KW: 3, StrideH: 1, StrideW: 1,
+		Pad: ops.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}}, in)
+	grp := g.MustAdd("grouped", ops.Conv2D{OutC: 16, KH: 3, KW: 3, StrideH: 1, StrideW: 1, Groups: 4,
+		Pad: ops.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}}, conv)
+	dw := g.MustAdd("dw", ops.DepthwiseConv2D{KH: 3, KW: 3, StrideH: 1, StrideW: 1,
+		Pad: ops.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}}, grp)
+	up := g.MustAdd("up", ops.TransposeConv2D{OutC: 16, KH: 2, KW: 2, StrideH: 2, StrideW: 2}, dw)
+	gap := g.MustAdd("gap", ops.GlobalAvgPool{}, up)
+	// 4096 outputs over 16 inputs keeps the FC past the shard threshold.
+	g.MustAdd("fc", ops.FullyConnected{OutC: 4096}, gap)
+	return g
+}
+
+// refAll runs the whole-graph reference under a fixed worker count.
+func refAll(t *testing.T, g *graph.Graph, workers int) map[graph.LayerID]*Tensor {
+	t.Helper()
+	prev := parallel.SetWorkers(workers)
+	defer parallel.SetWorkers(prev)
+	ref, err := RunReference(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
+// TestShardedKernelsBitExact verifies that row/channel-sharded kernels
+// produce the same bits as the serial loops — the property the
+// bit-exact validation suite depends on.
+func TestShardedKernelsBitExact(t *testing.T) {
+	g := shardedOpsGraph()
+	serial := refAll(t, g, 1)
+	sharded := refAll(t, g, 8)
+	for _, l := range g.Layers() {
+		if !serial[l.ID].Equal(sharded[l.ID]) {
+			t.Errorf("layer %s: sharded kernel differs from serial", l.Name)
+		}
+	}
+}
+
+// TestShardedKernelPanicsSurface checks that an out-of-view read — the
+// halo-validation mechanism — still reaches the caller as a panic when
+// the kernel row that trips it runs on a pool goroutine.
+func TestShardedKernelPanicsSurface(t *testing.T) {
+	prev := parallel.SetWorkers(8)
+	defer parallel.SetWorkers(prev)
+
+	in := tensor.NewShape(40, 40, 8)
+	op := ops.Conv2D{OutC: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1,
+		Pad: ops.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}}
+	out, err := op.OutShape([]tensor.Shape{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A view one row short of what the conv needs: the missing halo
+	// must panic, not read garbage.
+	short := tensor.Region{Off: tensor.NewShape(0, 0, 0), Ext: tensor.NewShape(in.H-1, in.W, in.C)}
+	err = guard("short view", func() error {
+		Apply(op, tensor.WholeRegion(out), []*View{NewView(short)}, []tensor.Shape{in}, WeightsFor(1))
+		return nil
+	})
+	if err == nil {
+		t.Fatal("under-provisioned view did not surface a panic")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/models"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/tensor"
 )
@@ -28,23 +29,22 @@ func SyncCostSweep(model string) ([]AblationPoint, error) {
 		return nil, err
 	}
 	g := m.Build()
-	var points []AblationPoint
-	for _, syncUS := range []float64{0.5, 2, 8, 32} {
+	syncs := []float64{0.5, 2, 8, 32}
+	opts := []core.Options{core.Base(), core.Halo(), core.Stratum()}
+	return parallel.Map(len(syncs)*len(opts), func(i int) (AblationPoint, error) {
+		syncUS, opt := syncs[i/len(opts)], opts[i%len(opts)]
 		a := arch.Exynos2100Like()
 		a.SyncBaseCycles = a.MicrosToCycles(syncUS)
 		a.SyncJitterCycles = a.SyncBaseCycles
-		for _, opt := range []core.Options{core.Base(), core.Halo(), core.Stratum()} {
-			_, out, err := runOne(g, a, opt, false)
-			if err != nil {
-				return nil, fmt.Errorf("sync sweep %gus %s: %w", syncUS, opt.Name(), err)
-			}
-			points = append(points, AblationPoint{
-				Param: syncUS, Config: opt.Name(),
-				LatencyUS: out.Stats.LatencyMicros(a.ClockMHz),
-			})
+		_, out, err := runOne(g, a, opt, false)
+		if err != nil {
+			return AblationPoint{}, fmt.Errorf("sync sweep %gus %s: %w", syncUS, opt.Name(), err)
 		}
-	}
-	return points, nil
+		return AblationPoint{
+			Param: syncUS, Config: opt.Name(),
+			LatencyUS: out.Stats.LatencyMicros(a.ClockMHz),
+		}, nil
+	})
 }
 
 // BusSweep measures sensitivity to the shared-bus ceiling: below the
@@ -56,22 +56,21 @@ func BusSweep(model string) ([]AblationPoint, error) {
 		return nil, err
 	}
 	g := m.Build()
-	var points []AblationPoint
-	for _, bus := range []float64{8, 16, 32, 64} {
+	buses := []float64{8, 16, 32, 64}
+	opts := []core.Options{core.Base(), core.Stratum()}
+	return parallel.Map(len(buses)*len(opts), func(i int) (AblationPoint, error) {
+		bus, opt := buses[i/len(opts)], opts[i%len(opts)]
 		a := arch.Exynos2100Like()
 		a.BusBytesPerCycle = bus
-		for _, opt := range []core.Options{core.Base(), core.Stratum()} {
-			_, out, err := runOne(g, a, opt, false)
-			if err != nil {
-				return nil, fmt.Errorf("bus sweep %g %s: %w", bus, opt.Name(), err)
-			}
-			points = append(points, AblationPoint{
-				Param: bus, Config: opt.Name(),
-				LatencyUS: out.Stats.LatencyMicros(a.ClockMHz),
-			})
+		_, out, err := runOne(g, a, opt, false)
+		if err != nil {
+			return AblationPoint{}, fmt.Errorf("bus sweep %g %s: %w", bus, opt.Name(), err)
 		}
-	}
-	return points, nil
+		return AblationPoint{
+			Param: bus, Config: opt.Name(),
+			LatencyUS: out.Stats.LatencyMicros(a.ClockMHz),
+		}, nil
+	})
 }
 
 // SPMSweepRow is one SPM capacity's compilation profile.
@@ -91,15 +90,16 @@ func SPMSweep(model string) ([]SPMSweepRow, error) {
 		return nil, err
 	}
 	g := m.Build()
-	var rows []SPMSweepRow
-	for _, kb := range []int64{512, 1024, 2048, 4096} {
+	kbs := []int64{512, 1024, 2048, 4096}
+	return parallel.Map(len(kbs), func(i int) (SPMSweepRow, error) {
+		kb := kbs[i]
 		a := arch.Exynos2100Like()
-		for i := range a.Cores {
-			a.Cores[i].SPMBytes = kb << 10
+		for c := range a.Cores {
+			a.Cores[c].SPMBytes = kb << 10
 		}
 		res, out, err := runOne(g, a, core.Stratum(), false)
 		if err != nil {
-			return nil, fmt.Errorf("spm sweep %dKB: %w", kb, err)
+			return SPMSweepRow{}, fmt.Errorf("spm sweep %dKB: %w", kb, err)
 		}
 		multi := 0
 		for _, s := range res.Strata {
@@ -107,14 +107,13 @@ func SPMSweep(model string) ([]SPMSweepRow, error) {
 				multi++
 			}
 		}
-		rows = append(rows, SPMSweepRow{
+		return SPMSweepRow{
 			SPMKB:       kb,
 			LatencyUS:   out.Stats.LatencyMicros(a.ClockMHz),
 			Instrs:      res.Program.NumInstrs(),
 			MultiStrata: multi,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // CoreScaling measures speedup versus core count beyond the paper's
@@ -125,19 +124,18 @@ func CoreScaling(model string, maxCores int) ([]AblationPoint, error) {
 		return nil, err
 	}
 	g := m.Build()
-	var points []AblationPoint
-	for n := 1; n <= maxCores; n++ {
+	return parallel.Map(maxCores, func(i int) (AblationPoint, error) {
+		n := i + 1
 		a := arch.Homogeneous(n)
 		_, out, err := runOne(g, a, core.Stratum(), false)
 		if err != nil {
-			return nil, fmt.Errorf("core scaling %d: %w", n, err)
+			return AblationPoint{}, fmt.Errorf("core scaling %d: %w", n, err)
 		}
-		points = append(points, AblationPoint{
+		return AblationPoint{
 			Param: float64(n), Config: "+Stratum",
 			LatencyUS: out.Stats.LatencyMicros(a.ClockMHz),
-		})
-	}
-	return points, nil
+		}, nil
+	})
 }
 
 // EnergyRow is one model/config energy estimate.
@@ -154,24 +152,22 @@ type EnergyRow struct {
 // optimized configurations should also be the most efficient.
 func EnergySweep() ([]EnergyRow, error) {
 	a := arch.Exynos2100Like()
-	var rows []EnergyRow
-	for _, m := range models.All() {
-		g := m.Build()
-		for _, opt := range []core.Options{core.Base(), core.Halo(), core.Stratum()} {
-			_, out, err := runOne(g, a, opt, false)
-			if err != nil {
-				return nil, fmt.Errorf("energy %s %s: %w", m.Name, opt.Name(), err)
-			}
-			rows = append(rows, EnergyRow{
-				Model:  m.Name,
-				Config: opt.Name(),
-				UJ:     out.Stats.EnergyMicroJoules(a.PJPerMAC, a.PJPerDRAMByte, m.DType == tensor.Int16),
-				GMACs:  float64(out.Stats.TotalMACs()) / 1e9,
-				MB:     float64(out.Stats.TotalBytes()) / 1e6,
-			})
+	ms := models.All()
+	opts := []core.Options{core.Base(), core.Halo(), core.Stratum()}
+	return parallel.Map(len(ms)*len(opts), func(i int) (EnergyRow, error) {
+		m, opt := ms[i/len(opts)], opts[i%len(opts)]
+		_, out, err := runOne(m.Build(), a, opt, false)
+		if err != nil {
+			return EnergyRow{}, fmt.Errorf("energy %s %s: %w", m.Name, opt.Name(), err)
 		}
-	}
-	return rows, nil
+		return EnergyRow{
+			Model:  m.Name,
+			Config: opt.Name(),
+			UJ:     out.Stats.EnergyMicroJoules(a.PJPerMAC, a.PJPerDRAMByte, m.DType == tensor.Int16),
+			GMACs:  float64(out.Stats.TotalMACs()) / 1e9,
+			MB:     float64(out.Stats.TotalBytes()) / 1e6,
+		}, nil
+	})
 }
 
 // InterconnectRow compares halo-exchange through global memory (the
@@ -188,30 +184,29 @@ type InterconnectRow struct {
 // buy (a hardware design-space question the paper's platform cannot
 // answer): halo transfers stop competing for the shared bus.
 func InterconnectSweep() ([]InterconnectRow, error) {
-	var rows []InterconnectRow
-	for _, name := range []string{"InceptionV3", "MobileNetV2"} {
+	names := []string{"InceptionV3", "MobileNetV2"}
+	buses := []float64{8, 32}
+	return parallel.Map(len(names)*len(buses), func(i int) (InterconnectRow, error) {
+		name, bus := names[i/len(buses)], buses[i%len(buses)]
 		g := models.ByNameMust(name)
-		for _, bus := range []float64{8, 32} {
-			row := InterconnectRow{Model: name, Bus: bus}
-			for _, direct := range []bool{false, true} {
-				a := arch.Exynos2100Like()
-				a.BusBytesPerCycle = bus
-				a.DirectHaloInterconnect = direct
-				_, out, err := runOne(g, a, core.Halo(), false)
-				if err != nil {
-					return nil, fmt.Errorf("interconnect %s bus%g: %w", name, bus, err)
-				}
-				us := out.Stats.LatencyMicros(a.ClockMHz)
-				if direct {
-					row.DirectUS = us
-				} else {
-					row.DRAMUS = us
-				}
+		row := InterconnectRow{Model: name, Bus: bus}
+		for _, direct := range []bool{false, true} {
+			a := arch.Exynos2100Like()
+			a.BusBytesPerCycle = bus
+			a.DirectHaloInterconnect = direct
+			_, out, err := runOne(g, a, core.Halo(), false)
+			if err != nil {
+				return InterconnectRow{}, fmt.Errorf("interconnect %s bus%g: %w", name, bus, err)
 			}
-			rows = append(rows, row)
+			us := out.Stats.LatencyMicros(a.ClockMHz)
+			if direct {
+				row.DirectUS = us
+			} else {
+				row.DRAMUS = us
+			}
 		}
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // PrintInterconnect renders the interconnect study.
@@ -237,8 +232,9 @@ type PipelineRow struct {
 // previous tile to finish entirely, exposing all DMA time.
 func PipelineSweep() ([]PipelineRow, error) {
 	a := arch.Exynos2100Like()
-	var rows []PipelineRow
-	for _, name := range []string{"InceptionV3", "MobileNetV2", "UNet"} {
+	names := []string{"InceptionV3", "MobileNetV2", "UNet"}
+	return parallel.Map(len(names), func(i int) (PipelineRow, error) {
+		name := names[i]
 		g := models.ByNameMust(name)
 		row := PipelineRow{Model: name}
 		for _, serial := range []bool{false, true} {
@@ -246,7 +242,7 @@ func PipelineSweep() ([]PipelineRow, error) {
 			opt.NoDoubleBuffer = serial
 			_, out, err := runOne(g, a, opt, false)
 			if err != nil {
-				return nil, fmt.Errorf("pipeline %s: %w", name, err)
+				return PipelineRow{}, fmt.Errorf("pipeline %s: %w", name, err)
 			}
 			us := out.Stats.LatencyMicros(a.ClockMHz)
 			if serial {
@@ -255,9 +251,8 @@ func PipelineSweep() ([]PipelineRow, error) {
 				row.PipelinedUS = us
 			}
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // PrintPipeline renders the pipelining ablation.
@@ -284,24 +279,24 @@ type ThroughputRow struct {
 func ThroughputSweep(model string, batch int) ([]ThroughputRow, error) {
 	a := arch.Exynos2100Like()
 	g := models.ByNameMust(model)
-	var rows []ThroughputRow
-	for _, opt := range []core.Options{core.Base(), core.Halo(), core.Stratum()} {
+	opts := []core.Options{core.Base(), core.Halo(), core.Stratum()}
+	return parallel.Map(len(opts), func(i int) (ThroughputRow, error) {
+		opt := opts[i]
 		res, out, err := runOne(g, a, opt, false)
 		if err != nil {
-			return nil, fmt.Errorf("throughput %s: %w", opt.Name(), err)
+			return ThroughputRow{}, fmt.Errorf("throughput %s: %w", opt.Name(), err)
 		}
 		period, _, err := sim.Throughput(res.Program, batch, sim.Config{})
 		if err != nil {
-			return nil, err
+			return ThroughputRow{}, err
 		}
-		rows = append(rows, ThroughputRow{
+		return ThroughputRow{
 			Model:     model,
 			Config:    opt.Name(),
 			LatencyUS: out.Stats.LatencyMicros(a.ClockMHz),
 			PeriodUS:  period / float64(a.ClockMHz),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // PrintThroughput renders the latency/throughput comparison.
@@ -328,8 +323,9 @@ type SchedulingRow struct {
 // Algorithm 1 mixes them by partition direction).
 func SchedulingSweep() ([]SchedulingRow, error) {
 	a := arch.Exynos2100Like()
-	var rows []SchedulingRow
-	for _, name := range []string{"InceptionV3", "MobileNetV2", "MobileNetV2-SSD"} {
+	names := []string{"InceptionV3", "MobileNetV2", "MobileNetV2-SSD"}
+	return parallel.Map(len(names), func(i int) (SchedulingRow, error) {
+		name := names[i]
 		g := models.ByNameMust(name)
 		row := SchedulingRow{Model: name}
 		for _, pt := range []struct {
@@ -344,13 +340,12 @@ func SchedulingSweep() ([]SchedulingRow, error) {
 			opt.Scheduling = pt.s
 			_, out, err := runOne(g, a, opt, false)
 			if err != nil {
-				return nil, fmt.Errorf("scheduling %s %v: %w", name, pt.s, err)
+				return SchedulingRow{}, fmt.Errorf("scheduling %s %v: %w", name, pt.s, err)
 			}
 			*pt.dest = out.Stats.LatencyMicros(a.ClockMHz)
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // PrintScheduling renders the strategy comparison.
@@ -378,50 +373,49 @@ func Concurrent() ([]ConcurrentRow, error) {
 		{"MobileNetV2-SSD", "MobileNetV2"},
 		{"MobileDet-SSD", "MobileNetV2"},
 	}
-	var rows []ConcurrentRow
-	for _, pair := range pairs {
+	return parallel.Map(len(pairs), func(i int) (ConcurrentRow, error) {
+		pair := pairs[i]
 		g1 := models.ByNameMust(pair[0])
 		g2 := models.ByNameMust(pair[1])
 
 		sub01, err := a.Subset([]int{0, 1})
 		if err != nil {
-			return nil, err
+			return ConcurrentRow{}, err
 		}
 		sub2, err := a.Subset([]int{2})
 		if err != nil {
-			return nil, err
+			return ConcurrentRow{}, err
 		}
-		r1, err := core.Compile(g1, sub01, core.Stratum())
+		r1, err := core.CompileCached(g1, sub01, core.Stratum())
 		if err != nil {
-			return nil, err
+			return ConcurrentRow{}, err
 		}
-		r2, err := core.Compile(g2, sub2, core.Stratum())
+		r2, err := core.CompileCached(g2, sub2, core.Stratum())
 		if err != nil {
-			return nil, err
+			return ConcurrentRow{}, err
 		}
 		both, err := sim.RunConcurrent(a, []sim.Placement{
 			{Program: r1.Program, Cores: []int{0, 1}},
 			{Program: r2.Program, Cores: []int{2}},
 		}, sim.Config{})
 		if err != nil {
-			return nil, err
+			return ConcurrentRow{}, err
 		}
 
 		var seq float64
 		for _, g := range []string{pair[0], pair[1]} {
 			_, out, err := runOne(models.ByNameMust(g), a, core.Stratum(), false)
 			if err != nil {
-				return nil, err
+				return ConcurrentRow{}, err
 			}
 			seq += out.Stats.LatencyMicros(a.ClockMHz)
 		}
-		rows = append(rows, ConcurrentRow{
+		return ConcurrentRow{
 			Pair:         pair[0] + " + " + pair[1],
 			ConcurrentUS: both.Stats.TotalCycles / float64(a.ClockMHz),
 			SequentialUS: seq,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // PrintConcurrent renders the multi-network comparison.

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/parallel"
+)
+
+// runBoth evaluates fn once serially and once with a worker pool, each
+// from a cold compile cache so the parallel run really exercises
+// concurrent compilation rather than replaying cached results.
+func runBoth[T any](t *testing.T, fn func() (T, error)) (serial, par T) {
+	t.Helper()
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	core.ResetCache()
+	serial, err := fn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel.SetWorkers(8)
+	core.ResetCache()
+	par, err = fn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serial, par
+}
+
+// TestFig11SerialParallelIdentical asserts the headline sweep is
+// bit-identical regardless of worker count.
+func TestFig11SerialParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full model sweep in -short mode")
+	}
+	serial, par := runBoth(t, Fig11)
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("Fig11 rows differ:\nserial:   %+v\nparallel: %+v", serial, par)
+	}
+}
+
+func TestTable4SerialParallelIdentical(t *testing.T) {
+	serial, par := runBoth(t, Table4)
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("Table4 rows differ:\nserial:   %+v\nparallel: %+v", serial, par)
+	}
+}
+
+func TestTable5SerialParallelIdentical(t *testing.T) {
+	serial, par := runBoth(t, Table5)
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("Table5 rows differ:\nserial:   %+v\nparallel: %+v", serial, par)
+	}
+}
+
+// TestFig12SerialParallelIdentical covers the trace-carrying variant
+// structs: event streams must match element for element.
+func TestFig12SerialParallelIdentical(t *testing.T) {
+	serial, par := runBoth(t, Fig12)
+	if !reflect.DeepEqual(serial, par) {
+		t.Error("Fig12 variants differ between serial and parallel runs")
+	}
+}
+
+// TestSweepsSerialParallelIdentical spot-checks the flattened-grid
+// fan-outs: a sync sweep (per-point arch mutation) and a death sweep
+// (fault plan + recovery per point).
+func TestSweepsSerialParallelIdentical(t *testing.T) {
+	serialSync, parSync := runBoth(t, func() ([]AblationPoint, error) {
+		return SyncCostSweep("MobileNetV2")
+	})
+	if !reflect.DeepEqual(serialSync, parSync) {
+		t.Errorf("SyncCostSweep differs:\nserial:   %+v\nparallel: %+v", serialSync, parSync)
+	}
+
+	chain := models.ConvChain(6, 64, 64, 16)
+	serialDeath, parDeath := runBoth(t, func() ([]DeathRow, error) {
+		return DeathSweep(chain)
+	})
+	if !reflect.DeepEqual(serialDeath, parDeath) {
+		t.Errorf("DeathSweep differs:\nserial:   %+v\nparallel: %+v", serialDeath, parDeath)
+	}
+}

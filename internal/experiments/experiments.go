@@ -13,19 +13,24 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/models"
+	"repro/internal/parallel"
 	"repro/internal/partition"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
 // runOne compiles and simulates one (graph, arch, options) point.
+// Compilation goes through the compile-result cache, so sweeps that
+// revisit a configuration (the Base point appears in Figure 11,
+// Table 4, and the energy ablation alike) compile it once.
 func runOne(g *graph.Graph, a *arch.Arch, opt core.Options, trace bool) (*core.Result, *sim.Result, error) {
-	res, err := core.Compile(g, a, opt)
+	res, err := core.CompileCached(g, a, opt)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -49,30 +54,44 @@ func (r Fig11Row) Speedup(us float64) float64 { return r.SingleUS / us }
 
 // Fig11 measures all six benchmark models in the four configurations
 // of Figure 11: single-core, and three-core Base, +Halo, +Stratum.
+// Every (model, configuration) point compiles and simulates
+// independently, so the full grid fans out across the worker pool;
+// rows are assembled in model order afterwards, identical to the
+// serial sweep.
 func Fig11() ([]Fig11Row, error) {
 	single := arch.SingleCore()
 	multi := arch.Exynos2100Like()
-	var rows []Fig11Row
-	for _, m := range models.All() {
-		g := m.Build()
-		row := Fig11Row{Model: m.Name}
-		for _, pt := range []struct {
-			a    *arch.Arch
-			opt  core.Options
-			dest *float64
-		}{
-			{single, core.Base(), &row.SingleUS},
-			{multi, core.Base(), &row.BaseUS},
-			{multi, core.Halo(), &row.HaloUS},
-			{multi, core.Stratum(), &row.StratumUS},
-		} {
-			_, out, err := runOne(g, pt.a, pt.opt, false)
-			if err != nil {
-				return nil, fmt.Errorf("fig11 %s: %w", m.Name, err)
-			}
-			*pt.dest = out.Stats.LatencyMicros(pt.a.ClockMHz)
+	ms := models.All()
+	points := []struct {
+		a   *arch.Arch
+		opt core.Options
+	}{
+		{single, core.Base()},
+		{multi, core.Base()},
+		{multi, core.Halo()},
+		{multi, core.Stratum()},
+	}
+	lats, err := parallel.Map(len(ms)*len(points), func(i int) (float64, error) {
+		m := ms[i/len(points)]
+		pt := points[i%len(points)]
+		_, out, err := runOne(m.Build(), pt.a, pt.opt, false)
+		if err != nil {
+			return 0, fmt.Errorf("fig11 %s: %w", m.Name, err)
 		}
-		rows = append(rows, row)
+		return out.Stats.LatencyMicros(pt.a.ClockMHz), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig11Row, len(ms))
+	for mi, m := range ms {
+		rows[mi] = Fig11Row{
+			Model:     m.Name,
+			SingleUS:  lats[mi*len(points)+0],
+			BaseUS:    lats[mi*len(points)+1],
+			HaloUS:    lats[mi*len(points)+2],
+			StratumUS: lats[mi*len(points)+3],
+		}
 	}
 	return rows, nil
 }
@@ -94,12 +113,10 @@ func PrintFig11(w io.Writer, rows []Fig11Row) {
 	n := float64(len(rows))
 	if n > 0 {
 		fmt.Fprintf(w, "%-17s %43s | %5.2fx %5.2fx %5.2fx  (geomean)\n", "average", "",
-			pow(gBase, 1/n), pow(gHalo, 1/n), pow(gStrat, 1/n))
+			math.Pow(gBase, 1/n), math.Pow(gHalo, 1/n), math.Pow(gStrat, 1/n))
 	}
 	fmt.Fprintln(w, "paper: Base ~1.7x, +Halo 1.07x over Base, +Stratum 1.23x over Base, 2.1x overall")
 }
-
-func pow(x, y float64) float64 { return math.Pow(x, y) }
 
 // Table1Row is one row of Table 1 (convolution partitioning methods).
 type Table1Row struct {
@@ -135,11 +152,7 @@ func join(xs []string) string {
 	if len(xs) == 0 {
 		return "none"
 	}
-	s := xs[0]
-	for _, x := range xs[1:] {
-		s += ", " + x
-	}
-	return s
+	return strings.Join(xs, ", ")
 }
 
 // Table2Row is one benchmark model descriptor.
@@ -149,13 +162,14 @@ type Table2Row struct {
 	GMACs  float64
 }
 
-// Table2 builds every benchmark model and reports its geometry.
+// Table2 builds every benchmark model and reports its geometry; the
+// builds are independent and fan out across the worker pool.
 func Table2() []Table2Row {
-	var rows []Table2Row
-	for _, m := range models.All() {
-		g := m.Build()
-		rows = append(rows, Table2Row{Info: m, Layers: g.Len(), GMACs: float64(g.TotalMACs()) / 1e9})
-	}
+	ms := models.All()
+	rows, _ := parallel.Map(len(ms), func(i int) (Table2Row, error) {
+		g := ms[i].Build()
+		return Table2Row{Info: ms[i], Layers: g.Len(), GMACs: float64(g.TotalMACs()) / 1e9}, nil
+	})
 	return rows
 }
 
@@ -188,20 +202,21 @@ type Table4Row struct {
 func Table4() ([]Table4Row, error) {
 	g := models.InceptionV3()
 	a := arch.Exynos2100Like()
-	var rows []Table4Row
-	for _, sch := range []struct {
+	schemes := []struct {
 		name string
 		mode partition.Mode
 	}{
 		{"spatial", partition.ForceSpatial},
 		{"channel", partition.ForceChannel},
 		{"adaptive", partition.Adaptive},
-	} {
+	}
+	return parallel.Map(len(schemes), func(i int) (Table4Row, error) {
+		sch := schemes[i]
 		opt := core.Base()
 		opt.Partitioning = sch.mode
 		res, out, err := runOne(g, a, opt, false)
 		if err != nil {
-			return nil, fmt.Errorf("table4 %s: %w", sch.name, err)
+			return Table4Row{}, fmt.Errorf("table4 %s: %w", sch.name, err)
 		}
 		row := Table4Row{Scheme: sch.name, LatencyUS: out.Stats.LatencyMicros(a.ClockMHz)}
 		for c := range a.Cores {
@@ -213,9 +228,8 @@ func Table4() ([]Table4Row, error) {
 			idle := (cs.SyncWait + (out.Stats.TotalCycles - cs.Finish)) / float64(a.ClockMHz)
 			row.IdleUSPerCore = append(row.IdleUSPerCore, idle)
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // PrintTable4 renders Table 4.
@@ -269,24 +283,23 @@ func Table5() ([]Table5Row, error) {
 		}()},
 		{"Combined", core.Stratum()},
 	}
-	var rows []Table5Row
-	for _, cfg := range configs {
+	return parallel.Map(len(configs), func(i int) (Table5Row, error) {
+		cfg := configs[i]
 		_, out, err := runOne(g, a, cfg.opt, false)
 		if err != nil {
-			return nil, fmt.Errorf("table5 %s: %w", cfg.name, err)
+			return Table5Row{}, fmt.Errorf("table5 %s: %w", cfg.name, err)
 		}
 		var syncs []float64
 		for _, c := range out.Stats.PerCore {
 			syncs = append(syncs, c.SyncWait/float64(a.ClockMHz))
 		}
-		rows = append(rows, Table5Row{
+		return Table5Row{
 			Config:    cfg.name,
 			LatencyUS: out.Stats.LatencyMicros(a.ClockMHz),
 			GMACs:     float64(out.Stats.TotalMACs()) / 1e9,
 			SyncUS:    stats.Summarize(syncs),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // PrintTable5 renders Table 5.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/models"
+	"repro/internal/parallel"
 	"repro/internal/recovery"
 	"repro/internal/sim"
 )
@@ -18,7 +19,7 @@ import (
 // end-to-end latency in microseconds, recovering onto surviving cores
 // when a core fails.
 func faultLatency(g *graph.Graph, a *arch.Arch, opt core.Options, p *fault.Plan) (float64, error) {
-	res, err := core.Compile(g, a, opt)
+	res, err := core.CompileCached(g, a, opt)
 	if err != nil {
 		return 0, err
 	}
@@ -48,21 +49,18 @@ func FaultRateSweep(model string) ([]AblationPoint, error) {
 	}
 	g := m.Build()
 	a := arch.Exynos2100Like()
-	var points []AblationPoint
-	for _, rate := range []float64{0, 0.02, 0.05, 0.10, 0.20} {
-		for _, opt := range []core.Options{core.Base(), core.Halo(), core.Stratum()} {
-			us, err := faultLatency(g, a, opt, &fault.Plan{Seed: 1, DropRate: rate})
-			if err != nil {
-				return nil, fmt.Errorf("fault sweep %g %s: %w", rate, opt.Name(), err)
-			}
-			points = append(points, AblationPoint{
-				// Percent, so printSweep's one-decimal column keeps the
-				// 2% and 5% rows distinguishable.
-				Param: 100 * rate, Config: opt.Name(), LatencyUS: us,
-			})
+	rates := []float64{0, 0.02, 0.05, 0.10, 0.20}
+	opts := []core.Options{core.Base(), core.Halo(), core.Stratum()}
+	return parallel.Map(len(rates)*len(opts), func(i int) (AblationPoint, error) {
+		rate, opt := rates[i/len(opts)], opts[i%len(opts)]
+		us, err := faultLatency(g, a, opt, &fault.Plan{Seed: 1, DropRate: rate})
+		if err != nil {
+			return AblationPoint{}, fmt.Errorf("fault sweep %g %s: %w", rate, opt.Name(), err)
 		}
-	}
-	return points, nil
+		// Percent, so printSweep's one-decimal column keeps the
+		// 2% and 5% rows distinguishable.
+		return AblationPoint{Param: 100 * rate, Config: opt.Name(), LatencyUS: us}, nil
+	})
 }
 
 // DeathRow is one configuration's exposure to a mid-run core death.
@@ -82,35 +80,35 @@ type DeathRow struct {
 // without publishing — a dead core loses all of it, forcing a restart.
 func DeathSweep(g *graph.Graph) ([]DeathRow, error) {
 	a := arch.Exynos2100Like()
-	var rows []DeathRow
-	for _, opt := range []core.Options{core.Base(), core.Halo(), core.Stratum()} {
-		res, err := core.Compile(g, a, opt)
+	opts := []core.Options{core.Base(), core.Halo(), core.Stratum()}
+	return parallel.Map(len(opts), func(i int) (DeathRow, error) {
+		opt := opts[i]
+		res, err := core.CompileCached(g, a, opt)
 		if err != nil {
-			return nil, err
+			return DeathRow{}, err
 		}
 		clean, err := sim.Run(res.Program, sim.Config{})
 		if err != nil {
-			return nil, err
+			return DeathRow{}, err
 		}
 		plan := &fault.Plan{Deaths: []fault.Death{{Core: 1, AtCycle: 0.5 * clean.Stats.TotalCycles}}}
 		_, err = sim.Run(res.Program, sim.Config{Faults: plan})
 		var cf *sim.CoreFailure
 		if !errors.As(err, &cf) {
-			return nil, fmt.Errorf("death sweep %s: expected core failure, got %v", opt.Name(), err)
+			return DeathRow{}, fmt.Errorf("death sweep %s: expected core failure, got %v", opt.Name(), err)
 		}
 		rec, err := recovery.Recover(g, a, cf, recovery.Options{Opt: opt, Sim: sim.Config{Faults: plan}})
 		if err != nil {
-			return nil, fmt.Errorf("death sweep %s: %w", opt.Name(), err)
+			return DeathRow{}, fmt.Errorf("death sweep %s: %w", opt.Name(), err)
 		}
-		rows = append(rows, DeathRow{
+		return DeathRow{
 			Config:           opt.Name(),
 			CleanUS:          clean.Stats.LatencyMicros(a.ClockMHz),
 			DegradedUS:       rec.TotalCycles / float64(a.ClockMHz),
 			CheckpointLayers: len(rec.Completed),
 			ReExecuted:       rec.ReExecutedLayers(),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 func printDeathRows(w io.Writer, rows []DeathRow) {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/models"
+	"repro/internal/parallel"
 	"repro/internal/plan"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -52,24 +53,28 @@ func Fig12() ([]Fig12Variant, error) {
 		{Name: "(c) halo-exchange + halo-first", Opt: core.Halo()},
 	}
 
-	for i := range variants {
+	// Identify the first two convolution layers.
+	conv1, _ := g.LayerByName("stem_conv1")
+	conv2, _ := g.LayerByName("stem_conv2")
+	relu1, _ := g.LayerByName("stem_conv1_relu")
+	keep := map[graph.LayerID]bool{conv1.ID: true, conv2.ID: true, relu1.ID: true}
+
+	err := parallel.ForEach(len(variants), func(i int) error {
 		res, out, err := runOne(g, a, variants[i].Opt, true)
 		if err != nil {
-			return nil, fmt.Errorf("fig12 %s: %w", variants[i].Name, err)
+			return fmt.Errorf("fig12 %s: %w", variants[i].Name, err)
 		}
 		variants[i].LatencyUS = out.Stats.LatencyMicros(a.ClockMHz)
-
-		// Identify the first two convolution layers.
-		conv1, _ := g.LayerByName("stem_conv1")
-		conv2, _ := g.LayerByName("stem_conv2")
-		relu1, _ := g.LayerByName("stem_conv1_relu")
-		keep := map[graph.LayerID]bool{conv1.ID: true, conv2.ID: true, relu1.ID: true}
 		for _, ev := range out.Trace {
 			if keep[ev.Layer] {
 				variants[i].Trace = append(variants[i].Trace, ev)
 			}
 		}
 		variants[i].ExposedIdleUS = exposedIdle(out.Trace, res.Program, conv2.ID, a)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return variants, nil
 }

@@ -1,0 +1,151 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// withWorkers runs f under a fixed pool size and restores the default.
+func withWorkers(t *testing.T, n int, f func()) {
+	t.Helper()
+	prev := SetWorkers(n)
+	defer SetWorkers(prev)
+	f()
+}
+
+func TestWorkersDefaultTracksGOMAXPROCS(t *testing.T) {
+	SetWorkers(0)
+	if got, want := Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("Workers() = %d, want %d", got, want)
+	}
+	if SetWorkers(3); Workers() != 3 {
+		t.Errorf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	if SetWorkers(-5); Workers() != runtime.GOMAXPROCS(0) {
+		t.Errorf("negative SetWorkers should restore the default")
+	}
+	SetWorkers(0)
+}
+
+func TestMapOrdered(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		withWorkers(t, w, func() {
+			got, err := Map(100, func(i int) (int, error) { return i * i, nil })
+			if err != nil {
+				t.Fatalf("workers=%d: %v", w, err)
+			}
+			for i, v := range got {
+				if v != i*i {
+					t.Fatalf("workers=%d: got[%d] = %d", w, i, v)
+				}
+			}
+		})
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Map(0) = %v, %v", got, err)
+	}
+}
+
+func TestLowestIndexErrorWins(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		withWorkers(t, w, func() {
+			err := ForEach(64, func(i int) error {
+				if i >= 7 {
+					return fmt.Errorf("fail at %d", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "fail at 7" {
+				t.Errorf("workers=%d: err = %v, want fail at 7", w, err)
+			}
+		})
+	}
+}
+
+func TestPanicPropagatesToCaller(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		withWorkers(t, w, func() {
+			defer func() {
+				r := recover()
+				if r != "boom 3" {
+					t.Errorf("workers=%d: recovered %v, want boom 3", w, r)
+				}
+			}()
+			ForEach(32, func(i int) error {
+				if i >= 3 {
+					panic(fmt.Sprintf("boom %d", i))
+				}
+				return nil
+			})
+			t.Errorf("workers=%d: ForEach returned instead of panicking", w)
+		})
+	}
+}
+
+func TestEveryIndexRunsExactlyOnce(t *testing.T) {
+	withWorkers(t, 8, func() {
+		const n = 5000
+		var counts [n]atomic.Int32
+		if err := ForEach(n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("index %d ran %d times", i, c)
+			}
+		}
+	})
+}
+
+// TestStress hammers the pool from many shapes and nesting depths at
+// once; under -race this is the data-race check for the engine.
+func TestStress(t *testing.T) {
+	withWorkers(t, 8, func() {
+		var total atomic.Int64
+		err := ForEach(50, func(i int) error {
+			// Nested fan-out: the kernels shard inside experiment sweeps.
+			sub, err := Map(20, func(j int) (int64, error) {
+				if (i+j)%97 == 13 {
+					return 0, errors.New("planned")
+				}
+				return int64(i*j + 1), nil
+			})
+			if err != nil {
+				return nil // planned errors are part of the stress
+			}
+			for _, v := range sub {
+				total.Add(v)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total.Load() == 0 {
+			t.Error("no work observed")
+		}
+	})
+}
+
+func TestSerialReporting(t *testing.T) {
+	withWorkers(t, 1, func() {
+		if !Serial() {
+			t.Error("Serial() = false with 1 worker")
+		}
+	})
+	withWorkers(t, 4, func() {
+		if Serial() {
+			t.Error("Serial() = true with 4 workers")
+		}
+	})
+}

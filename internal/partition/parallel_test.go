@@ -1,0 +1,36 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/models"
+	"repro/internal/parallel"
+)
+
+// TestPlanAllParallelMatchesSerial pins the engine's determinism
+// guarantee: fanning per-layer planning across workers must produce
+// exactly the plans the serial loop produces, for every mode and for
+// graphs well past the parallelization threshold.
+func TestPlanAllParallelMatchesSerial(t *testing.T) {
+	a := arch.Exynos2100Like()
+	for _, m := range []string{"InceptionV3", "MobileNetV2", "UNet"} {
+		g := models.ByNameMust(m)
+		for _, mode := range []Mode{Adaptive, ForceSpatial, ForceChannel} {
+			p := New(g, a)
+			p.Mode = mode
+			p.WeightScale = []float64{1, 0.8, 1.3}
+
+			prev := parallel.SetWorkers(1)
+			serial := p.PlanAll()
+			parallel.SetWorkers(8)
+			par := p.PlanAll()
+			parallel.SetWorkers(prev)
+
+			if !reflect.DeepEqual(serial, par) {
+				t.Errorf("%s/%s: parallel PlanAll differs from serial", m, mode)
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/cost"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -174,12 +175,29 @@ func (p *Partitioner) PlanLayer(l *graph.Layer) Plan {
 	return p.planWithDirection(l, dir, reason)
 }
 
-// PlanAll partitions every layer, indexed by LayerID.
+// planAllMinLayers is the graph size below which PlanAll stays serial:
+// per-layer planning is cheap, so small graphs cannot amortize the
+// worker-pool handoff.
+const planAllMinLayers = 16
+
+// PlanAll partitions every layer, indexed by LayerID. Layers are
+// planned independently (PlanLayer only reads the graph, the arch, and
+// the cost model), so large graphs fan out across the worker pool;
+// each layer writes only its own slot, making the result identical to
+// the serial loop.
 func (p *Partitioner) PlanAll() []Plan {
 	plans := make([]Plan, p.Graph.Len())
-	for _, l := range p.Graph.Layers() {
-		plans[l.ID] = p.PlanLayer(l)
+	layers := p.Graph.Layers()
+	if len(layers) < planAllMinLayers || parallel.Serial() {
+		for _, l := range layers {
+			plans[l.ID] = p.PlanLayer(l)
+		}
+		return plans
 	}
+	parallel.ForEach(len(layers), func(i int) error {
+		plans[layers[i].ID] = p.PlanLayer(layers[i])
+		return nil
+	})
 	return plans
 }
 
