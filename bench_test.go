@@ -261,8 +261,9 @@ func BenchmarkCompileCached(b *testing.B) {
 	})
 }
 
-// BenchmarkSimulate measures simulator throughput on precompiled
-// programs.
+// BenchmarkSimulate measures event-engine simulator throughput on
+// precompiled programs. Allocations are reported because the engine's
+// contract is zero steady-state allocation (only the Result escapes).
 func BenchmarkSimulate(b *testing.B) {
 	a := arch.Exynos2100Like()
 	for _, m := range models.All() {
@@ -272,8 +273,30 @@ func BenchmarkSimulate(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(m.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := sim.Run(res.Program, sim.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulateReference measures the retained reference engine on
+// the same programs — the "before" column of the event-engine speedup.
+func BenchmarkSimulateReference(b *testing.B) {
+	a := arch.Exynos2100Like()
+	for _, m := range models.All() {
+		g := m.Build()
+		res, err := core.Compile(g, a, core.Stratum())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(m.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunReference(res.Program, sim.Config{}); err != nil {
 					b.Fatal(err)
 				}
 			}

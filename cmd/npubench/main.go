@@ -6,6 +6,8 @@
 //	npubench                      # everything
 //	npubench -experiment fig11    # one experiment
 //	npubench -experiment table4
+//	npubench -bench-json BENCH_sim.json -bench-time 200ms
+//	npubench -experiment fig11 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -13,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/experiments"
@@ -22,8 +26,50 @@ import (
 func main() {
 	which := flag.String("experiment", "all", "fig11, fig12, table1, table2, table4, table5, ablation, concurrent, faults, or all")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for compile/simulate sweeps (1 forces serial)")
+	benchJSON := flag.String("bench-json", "", "A/B-benchmark the event simulator engine against the reference engine, write the report to this file, and exit")
+	benchTime := flag.Duration("bench-time", time.Second, "per-measurement duration for -bench-json")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	flag.Parse()
 	parallel.SetWorkers(*jobs)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "npubench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "npubench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "npubench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "npubench: %v\n", err)
+			}
+		}()
+	}
+
+	if *benchJSON != "" {
+		if err := runSimBench(os.Stdout, *benchJSON, *benchTime); err != nil {
+			fmt.Fprintf(os.Stderr, "npubench: bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	run := func(name string, f func() error) {
 		if *which != "all" && *which != name {

@@ -32,6 +32,11 @@ import (
 	"repro/internal/trace"
 )
 
+// runSim is the selected simulator engine (-engine flag). Recovery
+// re-simulation always uses the production engine; the two are held
+// bit-identical by the sim package's equivalence tests.
+var runSim = sim.Run
+
 func main() {
 	model := flag.String("model", "MobileNetV2", "benchmark model name")
 	cores := flag.Int("cores", 3, "number of NPU cores")
@@ -44,8 +49,17 @@ func main() {
 	faults := flag.String("faults", "", `fault spec, e.g. "drop=0.02,throttle=1@50000x0.5,kill=2@400000"`)
 	faultSeed := flag.Uint64("fault-seed", 0, "seed for probabilistic fault decisions")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for partition planning and reference kernels (1 forces serial)")
+	engine := flag.String("engine", "event", "simulator engine: event (production) or reference (retained oracle; bit-identical, for A/B checks)")
 	flag.Parse()
 	parallel.SetWorkers(*jobs)
+
+	switch *engine {
+	case "event":
+	case "reference":
+		runSim = sim.RunReference
+	default:
+		fatal(fmt.Errorf("unknown engine %q (event, reference)", *engine))
+	}
 
 	if *inFile != "" {
 		simulateFile(*inFile, *traceOut, *gantt)
@@ -86,7 +100,7 @@ func main() {
 	}
 
 	needTrace := *traceOut != "" || *gantt > 0 || *mem
-	out, err := sim.Run(res.Program, sim.Config{CollectTrace: needTrace})
+	out, err := runSim(res.Program, sim.Config{CollectTrace: needTrace})
 	if err != nil {
 		fatal(err)
 	}
@@ -148,7 +162,7 @@ func runFaulted(g *graph.Graph, a *arch.Arch, opt core.Options, res *core.Result
 		}
 	}
 
-	out, err := sim.Run(res.Program, sim.Config{Faults: plan})
+	out, err := runSim(res.Program, sim.Config{Faults: plan})
 	if err == nil {
 		fmt.Printf("%s on %s, %s under faults [%s]: %.1f us end-to-end\n",
 			g.Name, a.Name, opt.Name(), plan, out.Stats.LatencyMicros(clock))
@@ -193,7 +207,7 @@ func simulateFile(path, traceOut string, gantt int) {
 	if err != nil {
 		fatal(err)
 	}
-	out, err := sim.Run(p, sim.Config{CollectTrace: traceOut != "" || gantt > 0})
+	out, err := runSim(p, sim.Config{CollectTrace: traceOut != "" || gantt > 0})
 	if err != nil {
 		fatal(err)
 	}

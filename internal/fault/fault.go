@@ -145,6 +145,55 @@ func BackoffCycles(dmaSetupCycles int64, attempt int) float64 {
 	return float64(base << uint(shift))
 }
 
+// EventKind classifies one entry of a merged fault timeline.
+type EventKind int
+
+// Timeline event kinds. KindThrottle sorts before KindDeath at equal
+// cycles, matching the simulator's historical fire order.
+const (
+	KindThrottle EventKind = iota
+	KindDeath
+)
+
+// TimedEvent is one fault event on the merged timeline: a throttle
+// (Factor set) or a death (Factor unused).
+type TimedEvent struct {
+	Kind    EventKind
+	Core    int
+	AtCycle float64
+	Factor  float64
+}
+
+// Timeline merges the plan's throttles and deaths into one event queue
+// sorted by (AtCycle, kind, declaration order) — the order the
+// simulator's event engine consumes them in. Events naming cores at or
+// beyond ncores are dropped (inert by the Plan contract). The returned
+// slice is appended to buf, letting callers reuse a scratch buffer
+// across runs without steady-state allocation.
+func (p *Plan) Timeline(ncores int, buf []TimedEvent) []TimedEvent {
+	if p == nil {
+		return buf[:0]
+	}
+	out := buf[:0]
+	for _, t := range p.Throttles {
+		if t.Core < ncores {
+			out = append(out, TimedEvent{Kind: KindThrottle, Core: t.Core, AtCycle: t.AtCycle, Factor: t.Factor})
+		}
+	}
+	for _, d := range p.Deaths {
+		if d.Core < ncores {
+			out = append(out, TimedEvent{Kind: KindDeath, Core: d.Core, AtCycle: d.AtCycle})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].AtCycle != out[j].AtCycle {
+			return out[i].AtCycle < out[j].AtCycle
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
 // SortedThrottles returns the throttles in AtCycle order (stable for
 // equal cycles), leaving the plan unmodified.
 func (p *Plan) SortedThrottles() []Throttle {

@@ -1,0 +1,844 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/cost"
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/plan"
+)
+
+// This file is the production event-driven engine. It replaces the
+// reference engine's four per-step linear scans (in-flight transfers,
+// pending DMA setups, busy compute engines, released barriers) with a
+// single indexed min-heap of pending events, its full issueAll rescans
+// with a ready list fed by dependency-count decrements, and its
+// per-step sort-and-allocate bus arbitration with a water-filling set
+// that is rebuilt only when membership or core speeds change. All
+// per-run scratch lives in a pooled machine struct, so steady-state
+// simulation performs no heap allocations beyond the Result handed to
+// the caller.
+//
+// The engine is required to be bit-identical to reference.go — same
+// cycle counts, same floating-point stats accumulation, same trace
+// event order, same fault behavior — which pins several design points:
+//
+//   - Transfer completion times are recomputed from remaining/rate
+//     every step rather than cached across steps: draining subtracts
+//     rate*dt, and (rem - r*dt)/r differs from rem/r - dt in floating
+//     point, so a cached projection would drift off the reference.
+//   - Due completions are processed in the reference's canonical order
+//     (bus channels by capacity, then direct channels, then compute by
+//     core, then barriers by placement), not heap-pop order, because
+//     trace order and stats accumulation order observe it.
+//   - The water-filling set keeps bus channels sorted by capacity with
+//     a stable insertion sort. sort.Slice also runs an insertion sort
+//     at the channel counts real architectures produce (<= 2 per core,
+//     well under its small-slice cutoff), so tie order matches.
+//   - Merged busy intervals exploit that completion times never
+//     decrease: appending merges in place, and summing the disjoint
+//     intervals left to right reproduces unionLength's accumulation
+//     order exactly.
+
+// numEngines is the per-core engine count (load, compute, store, sync).
+const numEngines = 4
+
+// echannel is one in-flight DMA transfer participating in bandwidth
+// allocation.
+type echannel struct {
+	nid int32
+	cap float64
+}
+
+// ebarrier is the event engine's rendezvous state. Arrival times are
+// folded into a running max (the reference's maxArr scan over
+// arrivals); arrived nodes are recorded in barNodes[arrStart:] in
+// placement-local core order, which completion preserves.
+type ebarrier struct {
+	arrStart int32
+	nlocal   int32
+	arrived  int32
+	released bool
+	maxArr   float64
+	finish   float64
+}
+
+// machine is the pooled per-run state of the event engine. Every slice
+// is sized by resize helpers that reuse capacity, so a warm machine
+// runs a simulation without allocating; only the Result (and its
+// PerCore/ProgramCycles/Trace slices, which are handed to the caller)
+// is fresh per run.
+type machine struct {
+	a          *arch.Arch
+	model      cost.Model
+	placements []Placement
+	cfg        Config
+
+	fs      *faultState // nil when the plan injects nothing
+	fsStore faultState  // backing storage for fs, pooled
+
+	total  int
+	ncores int
+
+	nodes []node
+
+	// Dependents in CSR form: the nodes unblocked by node n's
+	// completion are depEdges[depOff[n]:depOff[n+1]].
+	depOff   []int32
+	depCur   []int32
+	depEdges []int32
+
+	coreOf  []int32 // node -> global core
+	progOf  []int32 // node -> placement index
+	indexOf []int32 // node -> position within its core-local stream
+
+	// Global node numbering: placement pi's local core lc starts at
+	// baseFlat[streamStart[pi]+lc], matching the reference's streamKey
+	// map (and fault.Plan.Drops transfer identity).
+	streamStart []int32
+	baseFlat    []int32
+
+	// Engine queues in CSR form, flat index ei = core*numEngines +
+	// engine: queue is qBuf[qOff[ei]:qOff[ei+1]], next-to-issue cursor
+	// qPos[ei], active node busyN[ei] (-1 idle).
+	qOff  []int32
+	qPos  []int32
+	qBuf  []int32
+	busyN []int32
+
+	// Barriers flattened across placements: placement pi's barrier b is
+	// bars[barOff[pi]+b].
+	barOff   []int32
+	bars     []ebarrier
+	barNodes []int32
+
+	owner      []int32 // global core -> placement index (-1 unassigned)
+	localIndex []int32 // global core -> placement-local index
+
+	// Per-placement layer accounting for checkpoint recovery (fault
+	// runs only), flattened: placement pi's layers occupy
+	// [layerOff[pi]:layerOff[pi+1]].
+	layerOff   []int32
+	layerDone  []int
+	layerTotal []int
+	layerStore []bool
+	pending    []int32 // per global core, instructions not yet finished
+
+	stats Stats
+	trace []Event
+
+	// Per-core busy intervals, kept merged (disjoint, sorted) as they
+	// are appended.
+	busyIv [][][2]float64
+
+	// Bandwidth allocation: rates by node id, the bus water-filling set
+	// (sorted by cap) and the dedicated-interconnect set, rebuilt only
+	// when dirty (membership or speed change).
+	rates  []float64
+	chans  []echannel
+	direct []echannel
+	dirty  bool
+
+	heap eventHeap
+
+	// Engines that may have an issuable queue head, deduplicated by
+	// readyFlag.
+	readyStack []int32
+	readyFlag  []bool
+
+	// Due-event staging, re-sorted into the reference's completion
+	// order each step.
+	dueCompute  []int32
+	dueBarriers []int32
+
+	now       float64
+	completed int
+}
+
+var machinePool = sync.Pool{New: func() any { return new(machine) }}
+
+// RunConcurrent simulates several programs sharing one architecture's
+// cores and bus, using the event-driven engine.
+func RunConcurrent(a *arch.Arch, placements []Placement, cfg Config) (*Result, error) {
+	m := machinePool.Get().(*machine)
+	res, err := m.run(a, placements, cfg)
+	m.release()
+	machinePool.Put(m)
+	return res, err
+}
+
+// release drops references to caller-owned data so the pooled machine
+// retains only its reusable scratch capacity.
+func (m *machine) release() {
+	m.a = nil
+	m.model = cost.Model{}
+	m.placements = nil
+	m.cfg = Config{}
+	m.fs = nil
+	m.fsStore.plan = nil
+	m.stats = Stats{}
+	m.trace = nil
+}
+
+func (m *machine) speedOf(c int) float64 {
+	if m.fs == nil {
+		return 1
+	}
+	return m.fs.speed[c]
+}
+
+func (m *machine) run(a *arch.Arch, placements []Placement, cfg Config) (*Result, error) {
+	m.a, m.placements, m.cfg = a, placements, cfg
+	m.model = cost.Model{Arch: a}
+	ncores := a.NumCores()
+	m.ncores = ncores
+
+	m.fs = nil
+	active, err := m.fsStore.init(cfg.Faults, ncores)
+	if err != nil {
+		return nil, err
+	}
+	if active {
+		m.fs = &m.fsStore
+	}
+
+	// Validate placements: disjoint cores, in range, matching widths.
+	m.owner = resizeInt32Fill(m.owner, ncores, -1)
+	for pi, pl := range placements {
+		if len(pl.Cores) != len(pl.Program.Cores) {
+			return nil, fmt.Errorf("sim: placement %d maps %d cores for a %d-core program",
+				pi, len(pl.Cores), len(pl.Program.Cores))
+		}
+		for _, c := range pl.Cores {
+			if c < 0 || c >= ncores {
+				return nil, fmt.Errorf("sim: placement %d core %d out of range", pi, c)
+			}
+			if m.owner[c] >= 0 {
+				return nil, fmt.Errorf("sim: core %d claimed by placements %d and %d", c, m.owner[c], pi)
+			}
+			m.owner[c] = int32(pi)
+		}
+	}
+
+	// Global node numbering across placements and their cores.
+	m.streamStart = m.streamStart[:0]
+	m.baseFlat = m.baseFlat[:0]
+	total := 0
+	for _, pl := range placements {
+		m.streamStart = append(m.streamStart, int32(len(m.baseFlat)))
+		for lc := range pl.Program.Cores {
+			m.baseFlat = append(m.baseFlat, int32(total))
+			total += len(pl.Program.Cores[lc])
+		}
+	}
+	m.total = total
+
+	m.nodes = resizeNodes(m.nodes, total)
+	m.coreOf = resizeInt32(m.coreOf, total)
+	m.progOf = resizeInt32(m.progOf, total)
+	m.indexOf = resizeInt32(m.indexOf, total)
+	m.rates = resizeFloat64(m.rates, total)
+
+	ne := ncores * numEngines
+	m.qOff = resizeInt32(m.qOff, ne+1)
+	m.qPos = resizeInt32(m.qPos, ne)
+	m.busyN = resizeInt32Fill(m.busyN, ne, -1)
+	m.depOff = resizeInt32(m.depOff, total+1)
+	m.depCur = resizeInt32(m.depCur, total)
+
+	m.localIndex = resizeInt32Fill(m.localIndex, ncores, -1)
+	for _, pl := range placements {
+		for lc, c := range pl.Cores {
+			m.localIndex[c] = int32(lc)
+		}
+	}
+
+	// Pass 1: node state, counts for the queue and dependent CSRs.
+	for pi, pl := range placements {
+		for lc, stream := range pl.Program.Cores {
+			gcore := pl.Cores[lc]
+			b := int(m.baseFlat[m.streamStart[pi]+int32(lc)])
+			for i, in := range stream {
+				n := b + i
+				m.nodes[n] = node{in: in, deps: len(in.Deps)}
+				m.coreOf[n] = int32(gcore)
+				m.progOf[n] = int32(pi)
+				m.indexOf[n] = int32(i)
+				m.qOff[gcore*numEngines+int(in.Op.Engine())+1]++
+				for _, d := range in.Deps {
+					m.depOff[int(m.baseFlat[m.streamStart[pi]+int32(d.Core)])+d.Index+1]++
+				}
+			}
+		}
+	}
+	for ei := 0; ei < ne; ei++ {
+		m.qOff[ei+1] += m.qOff[ei]
+	}
+	for n := 0; n < total; n++ {
+		m.depOff[n+1] += m.depOff[n]
+	}
+	m.qBuf = resizeInt32(m.qBuf, total)
+	m.depEdges = resizeInt32(m.depEdges, int(m.depOff[total]))
+	copy(m.qPos, m.qOff[:ne])
+	copy(m.depCur, m.depOff[:total])
+
+	// Pass 2: fill both CSRs in the reference's append order.
+	for pi, pl := range placements {
+		for lc, stream := range pl.Program.Cores {
+			gcore := pl.Cores[lc]
+			b := int(m.baseFlat[m.streamStart[pi]+int32(lc)])
+			for i, in := range stream {
+				n := b + i
+				ei := gcore*numEngines + int(in.Op.Engine())
+				m.qBuf[m.qPos[ei]] = int32(n)
+				m.qPos[ei]++
+				for _, d := range in.Deps {
+					dn := int(m.baseFlat[m.streamStart[pi]+int32(d.Core)]) + d.Index
+					m.depEdges[m.depCur[dn]] = int32(n)
+					m.depCur[dn]++
+				}
+			}
+		}
+	}
+	copy(m.qPos, m.qOff[:ne]) // rewind issue cursors
+
+	// Barriers, flattened.
+	m.barOff = m.barOff[:0]
+	m.bars = m.bars[:0]
+	m.barNodes = m.barNodes[:0]
+	for _, pl := range placements {
+		m.barOff = append(m.barOff, int32(len(m.bars)))
+		for i := 0; i < pl.Program.NumBarriers; i++ {
+			m.bars = append(m.bars, ebarrier{arrStart: int32(len(m.barNodes)), nlocal: int32(len(pl.Cores))})
+			for range pl.Cores {
+				m.barNodes = append(m.barNodes, -1)
+			}
+		}
+	}
+	m.barOff = append(m.barOff, int32(len(m.bars)))
+	totalBarriers := len(m.bars)
+
+	// Per-placement layer accounting for checkpoint recovery.
+	if m.fs != nil {
+		m.layerOff = m.layerOff[:0]
+		nl := 0
+		for _, pl := range placements {
+			m.layerOff = append(m.layerOff, int32(nl))
+			nl += pl.Program.Graph.Len()
+		}
+		m.layerOff = append(m.layerOff, int32(nl))
+		m.layerDone = resizeInt(m.layerDone, nl)
+		m.layerTotal = resizeInt(m.layerTotal, nl)
+		m.layerStore = resizeBool(m.layerStore, nl)
+		for pi, pl := range placements {
+			off := int(m.layerOff[pi])
+			for _, stream := range pl.Program.Cores {
+				for _, in := range stream {
+					m.layerTotal[off+int(in.Layer)]++
+					// Only plan.Store reaches global memory; halo stores land
+					// in a peer's SPM and die with it.
+					if in.Op == plan.Store {
+						m.layerStore[off+int(in.Layer)] = true
+					}
+				}
+			}
+		}
+		m.pending = resizeInt32(m.pending, ncores)
+		for nid := 0; nid < total; nid++ {
+			m.pending[m.coreOf[nid]]++
+		}
+	}
+
+	m.stats = Stats{
+		PerCore:       make([]CoreStats, ncores),
+		Barriers:      totalBarriers,
+		ProgramCycles: make([]float64, len(placements)),
+	}
+	m.trace = nil
+	if cfg.CollectTrace && total > 0 {
+		// Every instruction finishes exactly once, so the trace holds
+		// exactly total events: allocate it full-size up front.
+		m.trace = make([]Event, 0, total)
+	}
+
+	for cap(m.busyIv) < ncores {
+		m.busyIv = append(m.busyIv[:cap(m.busyIv)], nil)
+	}
+	m.busyIv = m.busyIv[:ncores]
+	for c := range m.busyIv {
+		m.busyIv[c] = m.busyIv[c][:0]
+	}
+
+	m.chans = m.chans[:0]
+	m.direct = m.direct[:0]
+	m.dirty = false
+	m.heap.reset(total, totalBarriers)
+	m.readyFlag = resizeBool(m.readyFlag, ne)
+	m.readyStack = m.readyStack[:0]
+	for ei := 0; ei < ne; ei++ {
+		m.pushReady(int32(ei))
+	}
+	m.now = 0
+	m.completed = 0
+
+	for m.completed < total {
+		// Fault events due now fire before new work issues: a throttle
+		// rescales the core's in-flight compute (and its DMA capacity,
+		// via the dirty rebuild); a death fails the run if the core
+		// still owes instructions (and is inert otherwise).
+		if m.fs != nil {
+			for _, ev := range m.fs.fire(m.now) {
+				if ev.death {
+					if m.owner[ev.core] >= 0 && m.pending[ev.core] > 0 {
+						return nil, m.failCore(FailCoreDeath, ev.core)
+					}
+					continue
+				}
+				if nid := m.busyN[ev.core*numEngines+int(plan.EngineCompute)]; nid >= 0 {
+					n := &m.nodes[nid]
+					if n.finish > m.now {
+						n.finish = m.now + (n.finish-m.now)*ev.oldSpeed/ev.newSpeed
+						m.heap.update(evCompute, nid, n.finish)
+					}
+				}
+				m.dirty = true
+			}
+			m.syncFaultEvent()
+		}
+
+		m.issueReady()
+
+		if m.dirty {
+			m.rebuildChannels()
+			m.dirty = false
+		}
+
+		// Earliest next completion: in-flight transfer projections
+		// (recomputed, see file comment) and the heap top, which covers
+		// compute finishes, setup deadlines, released barriers, and the
+		// next fault firing.
+		next := math.Inf(1)
+		for _, ch := range m.chans {
+			if r := m.rates[ch.nid]; r > 0 {
+				if t := m.now + m.nodes[ch.nid].remaining/r; t < next {
+					next = t
+				}
+			}
+		}
+		for _, ch := range m.direct {
+			if r := m.rates[ch.nid]; r > 0 {
+				if t := m.now + m.nodes[ch.nid].remaining/r; t < next {
+					next = t
+				}
+			}
+		}
+		if top, ok := m.heap.top(); ok && top.t < next {
+			next = top.t
+		}
+		if math.IsInf(next, 1) {
+			return nil, fmt.Errorf("sim: deadlock at t=%.0f with %d/%d instructions done", m.now, m.completed, total)
+		}
+		if next < m.now {
+			next = m.now
+		}
+
+		// Advance time, draining transfers.
+		dt := next - m.now
+		for _, ch := range m.chans {
+			m.nodes[ch.nid].remaining -= m.rates[ch.nid] * dt
+		}
+		for _, ch := range m.direct {
+			m.nodes[ch.nid].remaining -= m.rates[ch.nid] * dt
+		}
+		m.now = next
+
+		// Pop everything due, staging completions; a due setup deadline
+		// only changes water-filling membership, and a due fault entry
+		// is consumed by fire() at the next loop top.
+		m.dueCompute = m.dueCompute[:0]
+		m.dueBarriers = m.dueBarriers[:0]
+		for {
+			top, ok := m.heap.top()
+			if !ok || top.t > m.now+eps {
+				break
+			}
+			m.heap.pop()
+			switch top.kind {
+			case evSetup:
+				m.dirty = true
+			case evCompute:
+				m.dueCompute = append(m.dueCompute, top.id)
+			case evBarrier:
+				m.dueBarriers = append(m.dueBarriers, top.id)
+			}
+		}
+
+		// Complete everything due, in the reference's order: transfers
+		// (bus set then direct set), compute by core, barriers by
+		// placement.
+		if cf := m.completeDMA(); cf != nil {
+			return nil, cf
+		}
+		insertionSortByKey(m.dueCompute, func(id int32) int32 { return m.coreOf[id] })
+		for _, nid := range m.dueCompute {
+			if !m.nodes[nid].done {
+				m.finishNode(int(nid), m.now)
+			}
+		}
+		insertionSortByKey(m.dueBarriers, func(id int32) int32 { return id })
+		for _, fb := range m.dueBarriers {
+			b := &m.bars[fb]
+			for _, nid := range m.barNodes[b.arrStart : b.arrStart+b.nlocal] {
+				if nid >= 0 && !m.nodes[nid].done {
+					m.finishNode(int(nid), m.now)
+				}
+			}
+		}
+	}
+
+	m.stats.TotalCycles = m.now
+	for c := 0; c < ncores; c++ {
+		m.stats.PerCore[c].Idle = m.stats.TotalCycles - mergedLength(m.busyIv[c])
+	}
+	return &Result{Stats: m.stats, Trace: m.trace}, nil
+}
+
+func (m *machine) pushReady(ei int32) {
+	if !m.readyFlag[ei] {
+		m.readyFlag[ei] = true
+		m.readyStack = append(m.readyStack, ei)
+	}
+}
+
+// issueReady starts every instruction that can start at time now: the
+// queue heads of engines flagged ready (freed, or head unblocked).
+// Issuing never satisfies another node's dependencies, so one pass over
+// the flagged engines reaches the reference's issueAll fixpoint.
+func (m *machine) issueReady() {
+	for len(m.readyStack) > 0 {
+		ei := m.readyStack[len(m.readyStack)-1]
+		m.readyStack = m.readyStack[:len(m.readyStack)-1]
+		m.readyFlag[ei] = false
+		if m.busyN[ei] >= 0 || m.qPos[ei] >= m.qOff[ei+1] {
+			continue
+		}
+		nid := m.qBuf[m.qPos[ei]]
+		n := &m.nodes[nid]
+		if n.deps > 0 {
+			continue
+		}
+		// Issue.
+		m.qPos[ei]++
+		n.started = true
+		n.start = m.now
+		c := int(ei) / numEngines
+		pi := int(m.progOf[nid])
+		switch n.in.Op.Engine() {
+		case plan.EngineCompute:
+			dt := m.placements[pi].Program.Graph.Layer(n.in.Layer).DType
+			n.finish = m.now + float64(m.model.ComputeCycles(c, n.in.MACs, dt))/m.speedOf(c)
+			m.busyN[ei] = nid
+			m.heap.update(evCompute, nid, n.finish)
+		case plan.EngineLoad, plan.EngineStore:
+			n.remaining = float64(n.in.Bytes)
+			n.setupUntil = m.now + float64(m.a.DMASetupCycles)
+			m.busyN[ei] = nid
+			if n.setupUntil > m.now+eps {
+				m.heap.update(evSetup, nid, n.setupUntil)
+			} else {
+				m.dirty = true // joins the water-filling set immediately
+			}
+		case plan.EngineSync:
+			fb := m.barOff[pi] + int32(n.in.BarrierID)
+			b := &m.bars[fb]
+			m.barNodes[b.arrStart+m.localIndex[c]] = nid
+			if m.now > b.maxArr {
+				b.maxArr = m.now
+			}
+			b.arrived++
+			m.busyN[ei] = nid
+			if int(b.arrived) == len(m.placements[pi].Cores) {
+				b.finish = b.maxArr + float64(m.a.SyncCost(len(m.placements[pi].Cores))) +
+					jitter(n.in.BarrierID, m.a.SyncJitterCycles)
+				b.released = true
+				m.heap.update(evBarrier, fb, b.finish)
+			}
+		}
+	}
+}
+
+// rebuildChannels regathers the in-flight DMA sets and recomputes
+// max-min fair rates. Called only when membership or core speeds
+// changed; between calls the cached rates stay exact because
+// water-filling is a pure function of (membership, caps, bus ceiling).
+func (m *machine) rebuildChannels() {
+	m.chans = m.chans[:0]
+	m.direct = m.direct[:0]
+	for c := 0; c < m.ncores; c++ {
+		for _, e := range [2]plan.Engine{plan.EngineLoad, plan.EngineStore} {
+			nid := m.busyN[c*numEngines+int(e)]
+			if nid < 0 {
+				continue
+			}
+			n := &m.nodes[nid]
+			if n.setupUntil > m.now+eps {
+				continue // descriptor setup pending; its heap entry wakes us
+			}
+			ch := echannel{nid: nid, cap: m.a.Cores[c].DMABytesPerCycle * m.speedOf(c)}
+			op := n.in.Op
+			if m.a.DirectHaloInterconnect && (op == plan.StoreHalo || op == plan.LoadHalo) {
+				m.direct = append(m.direct, ch)
+				continue
+			}
+			m.chans = append(m.chans, ch)
+		}
+	}
+	// Dedicated link: full engine rate, no bus contention.
+	for _, ch := range m.direct {
+		m.rates[ch.nid] = ch.cap
+	}
+	// Max-min fair water-filling under the bus ceiling, lowest-capacity
+	// channels first (stable sort; see file comment on tie order).
+	for i := 1; i < len(m.chans); i++ {
+		for j := i; j > 0 && m.chans[j].cap < m.chans[j-1].cap; j-- {
+			m.chans[j], m.chans[j-1] = m.chans[j-1], m.chans[j]
+		}
+	}
+	remainingBW := m.a.BusBytesPerCycle
+	for i, ch := range m.chans {
+		share := remainingBW / float64(len(m.chans)-i)
+		r := math.Min(ch.cap, share)
+		m.rates[ch.nid] = r
+		remainingBW -= r
+	}
+}
+
+// completeDMA finishes (or drops) every in-flight transfer whose bytes
+// ran out, walking the bus set then the direct set — the order the
+// reference iterates its allocate() result in.
+func (m *machine) completeDMA() *CoreFailure {
+	nbus := len(m.chans)
+	for i := 0; i < nbus+len(m.direct); i++ {
+		var nid int32
+		if i < nbus {
+			nid = m.chans[i].nid
+		} else {
+			nid = m.direct[i-nbus].nid
+		}
+		n := &m.nodes[nid]
+		if n.remaining > eps || n.done {
+			continue
+		}
+		// An injected drop fails the transfer after it moved its bytes:
+		// the bandwidth was spent, the data must be re-sent after an
+		// exponential backoff.
+		if m.fs != nil && m.fs.plan.Drops(int(nid), n.attempt) {
+			n.attempt++
+			m.stats.PerCore[m.coreOf[nid]].Retries++
+			if n.attempt > m.fs.maxRetries {
+				return m.failCore(FailDMAExhausted, int(m.coreOf[nid]))
+			}
+			n.remaining = float64(n.in.Bytes)
+			n.setupUntil = m.now + fault.BackoffCycles(m.a.DMASetupCycles, n.attempt)
+			m.rates[nid] = 0 // leaves the set; never reuse the stale rate
+			m.dirty = true
+			m.heap.update(evSetup, nid, n.setupUntil)
+			continue
+		}
+		m.finishNode(int(nid), m.now)
+	}
+	return nil
+}
+
+// finishNode retires one instruction at time t: stats, trace, busy
+// intervals, engine release, and dependency-count decrements that feed
+// the ready list.
+func (m *machine) finishNode(nid int, t float64) {
+	n := &m.nodes[nid]
+	n.done = true
+	m.completed++
+	c := int(m.coreOf[nid])
+	st := &m.stats.PerCore[c]
+	dur := t - n.start
+	eng := n.in.Op.Engine()
+	switch eng {
+	case plan.EngineCompute:
+		st.ComputeBusy += dur
+		st.MACs += n.in.MACs
+	case plan.EngineLoad:
+		st.LoadBusy += dur
+		st.BytesLoaded += n.in.Bytes
+	case plan.EngineStore:
+		st.StoreBusy += dur
+		st.BytesStored += n.in.Bytes
+	case plan.EngineSync:
+		st.SyncWait += dur
+	}
+	if t > st.Finish {
+		st.Finish = t
+	}
+	if t > m.stats.ProgramCycles[m.progOf[nid]] {
+		m.stats.ProgramCycles[m.progOf[nid]] = t
+	}
+	if m.fs != nil {
+		m.layerDone[int(m.layerOff[m.progOf[nid]])+int(n.in.Layer)]++
+		m.pending[c]--
+	}
+	m.appendBusy(c, n.start, t)
+	if m.cfg.CollectTrace {
+		m.trace = append(m.trace, Event{
+			Core: c, Index: int(m.indexOf[nid]), Op: n.in.Op, Layer: n.in.Layer, Tile: n.in.Tile,
+			Start: n.start, End: t, Retries: n.attempt, Note: n.in.Note,
+		})
+	}
+	ei := c*numEngines + int(eng)
+	if m.busyN[ei] == int32(nid) {
+		m.busyN[ei] = -1
+		if eng == plan.EngineLoad || eng == plan.EngineStore {
+			m.rates[nid] = 0 // leaves the set; never reuse the stale rate
+			m.dirty = true
+		}
+		m.pushReady(int32(ei))
+	}
+	for _, d := range m.depEdges[m.depOff[nid]:m.depOff[nid+1]] {
+		dn := &m.nodes[d]
+		dn.deps--
+		if dn.deps == 0 {
+			dei := int(m.coreOf[d])*numEngines + int(dn.in.Op.Engine())
+			// Wake the engine only if this node is its issuable head.
+			if m.busyN[dei] < 0 && m.qPos[dei] < m.qOff[dei+1] && m.qBuf[m.qPos[dei]] == d {
+				m.pushReady(int32(dei))
+			}
+		}
+	}
+}
+
+// appendBusy records a finished instruction's interval, merging on
+// append. Ends arrive in non-decreasing order, so overlap can only be
+// with the tail of the merged list.
+func (m *machine) appendBusy(c int, s, e float64) {
+	iv := m.busyIv[c]
+	for len(iv) > 0 && s <= iv[len(iv)-1][1] {
+		last := iv[len(iv)-1]
+		if last[0] < s {
+			s = last[0]
+		}
+		if last[1] > e {
+			e = last[1]
+		}
+		iv = iv[:len(iv)-1]
+	}
+	m.busyIv[c] = append(iv, [2]float64{s, e})
+}
+
+// mergedLength sums a merged interval list, left to right — the same
+// accumulation order unionLength uses after sorting, so the result is
+// bit-identical.
+func mergedLength(iv [][2]float64) float64 {
+	total := 0.0
+	for _, x := range iv {
+		total += x[1] - x[0]
+	}
+	return total
+}
+
+// syncFaultEvent re-keys the heap's fault entry to the next pending
+// firing (or removes it when the plan is exhausted).
+func (m *machine) syncFaultEvent() {
+	t := m.fs.next()
+	if math.IsInf(t, 1) {
+		m.heap.remove(evFault, 0)
+		return
+	}
+	m.heap.update(evFault, 0, t)
+}
+
+// failCore snapshots the run state into a typed CoreFailure.
+func (m *machine) failCore(kind FailureKind, core int) *CoreFailure {
+	partial := m.stats
+	partial.PerCore = append([]CoreStats(nil), m.stats.PerCore...)
+	partial.ProgramCycles = append([]float64(nil), m.stats.ProgramCycles...)
+	partial.TotalCycles = m.now
+	for c := 0; c < m.ncores; c++ {
+		idle := m.now - mergedLength(m.busyIv[c])
+		if idle < 0 {
+			idle = 0
+		}
+		partial.PerCore[c].Idle = idle
+	}
+	pi := int(m.owner[core])
+	var comp []graph.LayerID
+	if pi >= 0 {
+		lo, hi := m.layerOff[pi], m.layerOff[pi+1]
+		comp = checkpoint(m.placements[pi].Program, m.layerDone[lo:hi], m.layerTotal[lo:hi], m.layerStore[lo:hi])
+	}
+	return &CoreFailure{
+		Kind: kind, Core: core, Placement: pi, AtCycle: m.now,
+		Completed: comp, Partial: partial,
+	}
+}
+
+// insertionSortByKey sorts the few due events of one step into the
+// reference's processing order without allocating.
+func insertionSortByKey(s []int32, key func(int32) int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && key(s[j]) < key(s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func resizeNodes(s []node, n int) []node {
+	if cap(s) < n {
+		return make([]node, n)
+	}
+	return s[:n]
+}
+
+func resizeInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+func resizeFloat64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeInt32Fill(s []int32, n int, v int32) []int32 {
+	if cap(s) < n {
+		s = make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}

@@ -63,15 +63,19 @@ func (f *CoreFailure) Error() string {
 		f.Core, f.Kind, f.AtCycle, len(f.Completed))
 }
 
-// faultState is the per-run mutable view of a fault.Plan: pending
-// timed events plus the current speed/liveness of every core.
+// faultState is the per-run mutable view of a fault.Plan: the merged
+// event timeline (fault.Timeline, throttles and deaths in firing
+// order) plus the current speed/liveness of every core. All buffers
+// are reusable so a pooled engine run injects faults without
+// steady-state allocation.
 type faultState struct {
 	plan       *fault.Plan
 	maxRetries int
 	speed      []float64
 	dead       []bool
-	throttles  []fault.Throttle // pending, sorted by AtCycle
-	deaths     []fault.Death    // pending, sorted by AtCycle
+	events     []fault.TimedEvent // merged timeline, pending from pos on
+	pos        int
+	fired      []firedEvent // reusable fire() output buffer
 }
 
 // firedEvent is one fault event applied at the current time.
@@ -82,80 +86,73 @@ type firedEvent struct {
 	newSpeed float64
 }
 
-// newFaultState validates and instantiates a plan for ncores cores.
-// An empty (or nil) plan yields a nil state, keeping the fault-free
-// simulation path untouched. Events naming cores outside the
-// architecture are dropped here — inert by contract.
-func newFaultState(p *fault.Plan, ncores int) (*faultState, error) {
+// init validates and loads a plan for ncores cores, reusing fs's
+// buffers. It reports whether the plan injects anything; an empty
+// plan leaves the fault-free simulation path untouched. Events naming
+// cores outside the architecture are dropped here — inert by contract.
+func (fs *faultState) init(p *fault.Plan, ncores int) (bool, error) {
 	if p.Empty() {
-		return nil, nil
+		return false, nil
 	}
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return false, err
 	}
-	fs := &faultState{
-		plan:       p,
-		maxRetries: p.Retries(),
-		speed:      make([]float64, ncores),
-		dead:       make([]bool, ncores),
+	fs.plan = p
+	fs.maxRetries = p.Retries()
+	if cap(fs.speed) < ncores {
+		fs.speed = make([]float64, ncores)
+		fs.dead = make([]bool, ncores)
 	}
+	fs.speed = fs.speed[:ncores]
+	fs.dead = fs.dead[:ncores]
 	for i := range fs.speed {
 		fs.speed[i] = 1
+		fs.dead[i] = false
 	}
-	for _, t := range p.SortedThrottles() {
-		if t.Core < ncores {
-			fs.throttles = append(fs.throttles, t)
-		}
-	}
-	for _, d := range p.SortedDeaths() {
-		if d.Core < ncores {
-			fs.deaths = append(fs.deaths, d)
-		}
+	fs.events = p.Timeline(ncores, fs.events)
+	fs.pos = 0
+	return true, nil
+}
+
+// newFaultState validates and instantiates a plan for ncores cores.
+// An empty (or nil) plan yields a nil state.
+func newFaultState(p *fault.Plan, ncores int) (*faultState, error) {
+	fs := &faultState{}
+	active, err := fs.init(p, ncores)
+	if err != nil || !active {
+		return nil, err
 	}
 	return fs, nil
 }
 
 // next returns the earliest pending fault-event time, or +Inf.
 func (fs *faultState) next() float64 {
-	t := math.Inf(1)
-	if len(fs.throttles) > 0 {
-		t = fs.throttles[0].AtCycle
+	if fs.pos >= len(fs.events) {
+		return math.Inf(1)
 	}
-	if len(fs.deaths) > 0 && fs.deaths[0].AtCycle < t {
-		t = fs.deaths[0].AtCycle
-	}
-	return t
+	return fs.events[fs.pos].AtCycle
 }
 
 // fire pops and applies every event due at or before now, in time
 // order, and returns them for the simulator to act on (rescaling
-// in-flight compute, failing dead cores with pending work).
+// in-flight compute, failing dead cores with pending work). The
+// returned slice is valid until the next call.
 func (fs *faultState) fire(now float64) []firedEvent {
-	var out []firedEvent
-	for {
-		tT, tD := math.Inf(1), math.Inf(1)
-		if len(fs.throttles) > 0 {
-			tT = fs.throttles[0].AtCycle
+	out := fs.fired[:0]
+	for fs.pos < len(fs.events) && fs.events[fs.pos].AtCycle <= now+eps {
+		ev := fs.events[fs.pos]
+		fs.pos++
+		if ev.Kind == fault.KindDeath {
+			fs.dead[ev.Core] = true
+			out = append(out, firedEvent{death: true, core: ev.Core})
+			continue
 		}
-		if len(fs.deaths) > 0 {
-			tD = fs.deaths[0].AtCycle
-		}
-		switch {
-		case tT <= now+eps && tT <= tD:
-			th := fs.throttles[0]
-			fs.throttles = fs.throttles[1:]
-			old := fs.speed[th.Core]
-			fs.speed[th.Core] = th.Factor
-			out = append(out, firedEvent{core: th.Core, oldSpeed: old, newSpeed: th.Factor})
-		case tD <= now+eps:
-			d := fs.deaths[0]
-			fs.deaths = fs.deaths[1:]
-			fs.dead[d.Core] = true
-			out = append(out, firedEvent{death: true, core: d.Core})
-		default:
-			return out
-		}
+		old := fs.speed[ev.Core]
+		fs.speed[ev.Core] = ev.Factor
+		out = append(out, firedEvent{core: ev.Core, oldSpeed: old, newSpeed: ev.Factor})
 	}
+	fs.fired = out
+	return out
 }
 
 // checkpoint computes the recovery cut for a partially executed

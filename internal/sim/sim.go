@@ -10,15 +10,19 @@
 // it models (compute rate, DMA bandwidth, bus ceiling, SPM capacity,
 // barrier cost), so relative results keep their shape even though
 // absolute cycle counts are synthetic.
+//
+// Two engines share this package: the production event-driven engine
+// (engine.go — indexed min-heap event queue, ready-list issuance,
+// incremental bus water-filling, pooled zero-allocation scratch) and
+// the retained reference engine (reference.go — the original per-step
+// rescanning implementation). Run and RunConcurrent use the event
+// engine; RunReference exists for equivalence tests and A/B
+// benchmarks, which hold the two bit-identical.
 package sim
 
 import (
-	"fmt"
-	"math"
 	"sort"
 
-	"repro/internal/arch"
-	"repro/internal/cost"
 	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/plan"
@@ -136,34 +140,6 @@ type Config struct {
 
 const eps = 1e-6
 
-// node is the runtime state of one instruction.
-type node struct {
-	in         plan.Instr
-	deps       int // unsatisfied dependency count
-	done       bool
-	started    bool
-	start      float64
-	remaining  float64 // bytes left (DMA) — unused for compute/barrier
-	setupUntil float64 // DMA descriptor setup completes at this time
-	finish     float64 // scheduled completion (compute/barrier)
-	attempt    int     // DMA re-issues so far (fault injection)
-}
-
-type engineState struct {
-	queue []int // global node ids in program order
-	pos   int   // next to issue
-	busy  int   // active node id, -1 if none
-}
-
-// barrier tracks a rendezvous.
-type barrier struct {
-	arrived  int
-	arrival  []float64 // per core arrival time, NaN until arrived
-	released bool
-	finish   float64
-	nodes    []int // node ids, per core
-}
-
 // Placement assigns a compiled program to a subset of the global
 // architecture's cores. Program core i runs on global core Cores[i];
 // the program must have been compiled for an architecture whose core
@@ -183,448 +159,6 @@ func Run(p *plan.Program, cfg Config) (*Result, error) {
 		cores[i] = i
 	}
 	return RunConcurrent(p.Arch, []Placement{{Program: p, Cores: cores}}, cfg)
-}
-
-// RunConcurrent simulates several compiled programs sharing one
-// architecture: each occupies a disjoint core subset, and all of them
-// contend for the shared memory bus — the multicore NPU's
-// multi-network concurrency scenario.
-func RunConcurrent(a *arch.Arch, placements []Placement, cfg Config) (*Result, error) {
-	model := cost.New(a)
-	ncores := a.NumCores()
-
-	fs, err := newFaultState(cfg.Faults, ncores)
-	if err != nil {
-		return nil, err
-	}
-	speedOf := func(c int) float64 {
-		if fs == nil {
-			return 1
-		}
-		return fs.speed[c]
-	}
-
-	// Validate placements: disjoint cores, in range, matching widths.
-	owner := make([]int, ncores)
-	for i := range owner {
-		owner[i] = -1
-	}
-	for pi, pl := range placements {
-		if len(pl.Cores) != len(pl.Program.Cores) {
-			return nil, fmt.Errorf("sim: placement %d maps %d cores for a %d-core program",
-				pi, len(pl.Cores), len(pl.Program.Cores))
-		}
-		for _, c := range pl.Cores {
-			if c < 0 || c >= ncores {
-				return nil, fmt.Errorf("sim: placement %d core %d out of range", pi, c)
-			}
-			if owner[c] >= 0 {
-				return nil, fmt.Errorf("sim: core %d claimed by placements %d and %d", c, owner[c], pi)
-			}
-			owner[c] = pi
-		}
-	}
-
-	// Global node numbering across placements and their cores.
-	type streamKey struct{ pi, localCore int }
-	base := map[streamKey]int{}
-	total := 0
-	for pi, pl := range placements {
-		for lc := range pl.Program.Cores {
-			base[streamKey{pi, lc}] = total
-			total += len(pl.Program.Cores[lc])
-		}
-	}
-	nodes := make([]node, total)
-	dependents := make([][]int32, total)
-	coreOf := make([]int, total)  // global core
-	progOf := make([]int, total)  // placement index
-	indexOf := make([]int, total) // position within the core-local stream
-
-	engines := make([][]engineState, ncores)
-	for c := 0; c < ncores; c++ {
-		engines[c] = make([]engineState, 4)
-		for e := range engines[c] {
-			engines[c][e].busy = -1
-		}
-	}
-
-	barriers := make([][]*barrier, len(placements))
-	for pi, pl := range placements {
-		nlocal := len(pl.Cores)
-		id := func(r plan.Ref) int { return base[streamKey{pi, r.Core}] + r.Index }
-		for lc, stream := range pl.Program.Cores {
-			gcore := pl.Cores[lc]
-			for i, in := range stream {
-				n := base[streamKey{pi, lc}] + i
-				nodes[n] = node{in: in, deps: len(in.Deps)}
-				coreOf[n] = gcore
-				progOf[n] = pi
-				indexOf[n] = i
-				indexOf[n] = i
-				for _, d := range in.Deps {
-					dependents[id(d)] = append(dependents[id(d)], int32(n))
-				}
-				engines[gcore][in.Op.Engine()].queue = append(engines[gcore][in.Op.Engine()].queue, n)
-			}
-		}
-		barriers[pi] = make([]*barrier, pl.Program.NumBarriers)
-		for i := range barriers[pi] {
-			barriers[pi][i] = &barrier{arrival: make([]float64, nlocal), nodes: make([]int, nlocal)}
-			for c := range barriers[pi][i].arrival {
-				barriers[pi][i].arrival[c] = math.NaN()
-				barriers[pi][i].nodes[c] = -1
-			}
-		}
-	}
-
-	// Per-placement layer accounting for checkpoint recovery: how many
-	// instructions each layer owes vs. has completed, and whether any
-	// of them publishes the layer's output to global memory.
-	var layerDone, layerTotal [][]int
-	var layerStore [][]bool
-	pending := make([]int, ncores)
-	if fs != nil {
-		layerDone = make([][]int, len(placements))
-		layerTotal = make([][]int, len(placements))
-		layerStore = make([][]bool, len(placements))
-		for pi, pl := range placements {
-			nl := pl.Program.Graph.Len()
-			layerDone[pi] = make([]int, nl)
-			layerTotal[pi] = make([]int, nl)
-			layerStore[pi] = make([]bool, nl)
-			for _, stream := range pl.Program.Cores {
-				for _, in := range stream {
-					layerTotal[pi][in.Layer]++
-					// Only plan.Store reaches global memory; halo stores land
-				// in a peer's SPM and die with it.
-				if in.Op == plan.Store {
-						layerStore[pi][in.Layer] = true
-					}
-				}
-			}
-		}
-		for nid := 0; nid < total; nid++ {
-			pending[coreOf[nid]]++
-		}
-	}
-
-	totalBarriers := 0
-	for _, bs := range barriers {
-		totalBarriers += len(bs)
-	}
-	stats := Stats{
-		PerCore:       make([]CoreStats, ncores),
-		Barriers:      totalBarriers,
-		ProgramCycles: make([]float64, len(placements)),
-	}
-	var trace []Event
-	busyIntervals := make([][][2]float64, ncores)
-
-	// localIndex maps a global core back to its placement-local index.
-	localIndex := make([]int, ncores)
-	for i := range localIndex {
-		localIndex[i] = -1
-	}
-	for _, pl := range placements {
-		for lc, c := range pl.Cores {
-			localIndex[c] = lc
-		}
-	}
-
-	now := 0.0
-	completed := 0
-
-	finishNode := func(nid int, t float64) {
-		n := &nodes[nid]
-		n.done = true
-		completed++
-		c := coreOf[nid]
-		st := &stats.PerCore[c]
-		dur := t - n.start
-		switch n.in.Op.Engine() {
-		case plan.EngineCompute:
-			st.ComputeBusy += dur
-			st.MACs += n.in.MACs
-		case plan.EngineLoad:
-			st.LoadBusy += dur
-			st.BytesLoaded += n.in.Bytes
-		case plan.EngineStore:
-			st.StoreBusy += dur
-			st.BytesStored += n.in.Bytes
-		case plan.EngineSync:
-			st.SyncWait += dur
-		}
-		if t > st.Finish {
-			st.Finish = t
-		}
-		if t > stats.ProgramCycles[progOf[nid]] {
-			stats.ProgramCycles[progOf[nid]] = t
-		}
-		if fs != nil {
-			layerDone[progOf[nid]][n.in.Layer]++
-			pending[c]--
-		}
-		busyIntervals[c] = append(busyIntervals[c], [2]float64{n.start, t})
-		if cfg.CollectTrace {
-			trace = append(trace, Event{
-				Core: c, Index: indexOf[nid], Op: n.in.Op, Layer: n.in.Layer, Tile: n.in.Tile,
-				Start: n.start, End: t, Retries: n.attempt, Note: n.in.Note,
-			})
-		}
-		es := &engines[c][n.in.Op.Engine()]
-		if es.busy == nid {
-			es.busy = -1
-		}
-		for _, d := range dependents[nid] {
-			nodes[d].deps--
-		}
-	}
-
-	// issueAll starts every instruction that can start at time now.
-	issueAll := func() {
-		progress := true
-		for progress {
-			progress = false
-			for c := 0; c < ncores; c++ {
-				for e := range engines[c] {
-					es := &engines[c][e]
-					if es.busy >= 0 || es.pos >= len(es.queue) {
-						continue
-					}
-					nid := es.queue[es.pos]
-					n := &nodes[nid]
-					if n.deps > 0 {
-						continue
-					}
-					// Issue.
-					es.pos++
-					n.started = true
-					n.start = now
-					pi := progOf[nid]
-					switch n.in.Op.Engine() {
-					case plan.EngineCompute:
-						dt := placements[pi].Program.Graph.Layer(n.in.Layer).DType
-						n.finish = now + float64(model.ComputeCycles(c, n.in.MACs, dt))/speedOf(c)
-						es.busy = nid
-					case plan.EngineLoad, plan.EngineStore:
-						n.remaining = float64(n.in.Bytes)
-						n.setupUntil = now + float64(a.DMASetupCycles)
-						es.busy = nid
-					case plan.EngineSync:
-						b := barriers[pi][n.in.BarrierID]
-						lc := localIndex[c]
-						b.arrival[lc] = now
-						b.nodes[lc] = nid
-						b.arrived++
-						es.busy = nid
-						if b.arrived == len(placements[pi].Cores) {
-							maxArr := 0.0
-							for _, arr := range b.arrival {
-								if arr > maxArr {
-									maxArr = arr
-								}
-							}
-							b.finish = maxArr + float64(a.SyncCost(len(placements[pi].Cores))) +
-								jitter(n.in.BarrierID, a.SyncJitterCycles)
-							b.released = true
-						}
-					}
-					progress = true
-				}
-			}
-		}
-	}
-
-	// activeTransfers gathers in-flight DMA channels for bandwidth
-	// allocation.
-	type channel struct {
-		nid int
-		cap float64
-	}
-	rates := make([]float64, total)
-
-	var pendingSetup []int
-	allocate := func() []channel {
-		var chans []channel  // bus-sharing DMA channels
-		var direct []channel // dedicated-interconnect halo channels
-		pendingSetup = pendingSetup[:0]
-		for c := 0; c < ncores; c++ {
-			for _, e := range []plan.Engine{plan.EngineLoad, plan.EngineStore} {
-				nid := engines[c][e].busy
-				if nid < 0 {
-					continue
-				}
-				if nodes[nid].setupUntil > now+eps {
-					pendingSetup = append(pendingSetup, nid)
-					continue
-				}
-				ch := channel{nid: nid, cap: a.Cores[c].DMABytesPerCycle * speedOf(c)}
-				op := nodes[nid].in.Op
-				if a.DirectHaloInterconnect && (op == plan.StoreHalo || op == plan.LoadHalo) {
-					direct = append(direct, ch)
-					continue
-				}
-				chans = append(chans, ch)
-			}
-		}
-		// Dedicated link: full engine rate, no bus contention.
-		for _, ch := range direct {
-			rates[ch.nid] = ch.cap
-		}
-		// Max-min fair water-filling under the bus ceiling.
-		sort.Slice(chans, func(i, j int) bool { return chans[i].cap < chans[j].cap })
-		remainingBW := a.BusBytesPerCycle
-		for i, ch := range chans {
-			share := remainingBW / float64(len(chans)-i)
-			r := math.Min(ch.cap, share)
-			rates[ch.nid] = r
-			remainingBW -= r
-		}
-		return append(chans, direct...)
-	}
-
-	// failCore snapshots the run state into a typed CoreFailure.
-	failCore := func(kind FailureKind, core int) *CoreFailure {
-		partial := stats
-		partial.PerCore = append([]CoreStats(nil), stats.PerCore...)
-		partial.ProgramCycles = append([]float64(nil), stats.ProgramCycles...)
-		partial.TotalCycles = now
-		for c := 0; c < ncores; c++ {
-			idle := now - unionLength(busyIntervals[c])
-			if idle < 0 {
-				idle = 0
-			}
-			partial.PerCore[c].Idle = idle
-		}
-		pi := owner[core]
-		var comp []graph.LayerID
-		if pi >= 0 {
-			comp = checkpoint(placements[pi].Program, layerDone[pi], layerTotal[pi], layerStore[pi])
-		}
-		return &CoreFailure{
-			Kind: kind, Core: core, Placement: pi, AtCycle: now,
-			Completed: comp, Partial: partial,
-		}
-	}
-
-	for completed < total {
-		// Fault events due now fire before new work issues: a throttle
-		// rescales the core's in-flight compute; a death fails the run
-		// if the core still owes instructions (and is inert otherwise).
-		if fs != nil {
-			for _, ev := range fs.fire(now) {
-				if ev.death {
-					if owner[ev.core] >= 0 && pending[ev.core] > 0 {
-						return nil, failCore(FailCoreDeath, ev.core)
-					}
-					continue
-				}
-				if nid := engines[ev.core][plan.EngineCompute].busy; nid >= 0 {
-					n := &nodes[nid]
-					if n.finish > now {
-						n.finish = now + (n.finish-now)*ev.oldSpeed/ev.newSpeed
-					}
-				}
-			}
-		}
-
-		issueAll()
-		chans := allocate()
-
-		// Earliest next completion.
-		next := math.Inf(1)
-		for _, ch := range chans {
-			if r := rates[ch.nid]; r > 0 {
-				if t := now + nodes[ch.nid].remaining/r; t < next {
-					next = t
-				}
-			}
-		}
-		for _, nid := range pendingSetup {
-			if t := nodes[nid].setupUntil; t < next {
-				next = t
-			}
-		}
-		for c := 0; c < ncores; c++ {
-			if nid := engines[c][plan.EngineCompute].busy; nid >= 0 {
-				if nodes[nid].finish < next {
-					next = nodes[nid].finish
-				}
-			}
-		}
-		for _, bs := range barriers {
-			for _, b := range bs {
-				if b.released && !nodes[b.nodes[0]].done && b.finish < next {
-					next = b.finish
-				}
-			}
-		}
-		if fs != nil {
-			if t := fs.next(); t > now && t < next {
-				next = t
-			}
-		}
-		if math.IsInf(next, 1) {
-			return nil, fmt.Errorf("sim: deadlock at t=%.0f with %d/%d instructions done", now, completed, total)
-		}
-		if next < now {
-			next = now
-		}
-
-		// Advance time, draining transfers.
-		dt := next - now
-		for _, ch := range chans {
-			nodes[ch.nid].remaining -= rates[ch.nid] * dt
-		}
-		now = next
-
-		// Complete everything due.
-		for _, ch := range chans {
-			n := &nodes[ch.nid]
-			if n.remaining > eps || n.done {
-				continue
-			}
-			// An injected drop fails the transfer after it moved its
-			// bytes: the bandwidth was spent, the data must be re-sent
-			// after an exponential backoff.
-			if fs != nil && fs.plan.Drops(ch.nid, n.attempt) {
-				n.attempt++
-				stats.PerCore[coreOf[ch.nid]].Retries++
-				if n.attempt > fs.maxRetries {
-					return nil, failCore(FailDMAExhausted, coreOf[ch.nid])
-				}
-				n.remaining = float64(n.in.Bytes)
-				n.setupUntil = now + fault.BackoffCycles(a.DMASetupCycles, n.attempt)
-				continue
-			}
-			finishNode(ch.nid, now)
-		}
-		for c := 0; c < ncores; c++ {
-			if nid := engines[c][plan.EngineCompute].busy; nid >= 0 {
-				if nodes[nid].finish <= now+eps && !nodes[nid].done {
-					finishNode(nid, now)
-				}
-			}
-		}
-		for _, bs := range barriers {
-			for _, b := range bs {
-				if b.released && b.finish <= now+eps {
-					for _, nid := range b.nodes {
-						if nid >= 0 && !nodes[nid].done {
-							finishNode(nid, now)
-						}
-					}
-				}
-			}
-		}
-	}
-
-	stats.TotalCycles = now
-	for c := 0; c < ncores; c++ {
-		stats.PerCore[c].Idle = stats.TotalCycles - unionLength(busyIntervals[c])
-	}
-	return &Result{Stats: stats, Trace: trace}, nil
 }
 
 // jitter returns a deterministic pseudo-random barrier-release delay
