@@ -19,12 +19,14 @@ import (
 	"time"
 
 	"repro/internal/arch"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/parallel"
 )
 
 func main() {
-	which := flag.String("experiment", "all", "fig11, fig12, table1, table2, table4, table5, ablation, concurrent, faults, or all")
+	which := flag.String("experiment", "all", "fig11, fig12, table1, table2, table4, table5, ablation, concurrent, faults, metrics, or all")
+	metricsOnly := flag.Bool("metrics", false, "print the Figure-10-style utilization table for the Table 2 nets (alias for -experiment metrics)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for compile/simulate sweeps (1 forces serial)")
 	benchJSON := flag.String("bench-json", "", "A/B-benchmark the event simulator engine against the reference engine, write the report to this file, and exit")
 	benchTime := flag.Duration("bench-time", time.Second, "per-measurement duration for -bench-json")
@@ -32,6 +34,9 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	flag.Parse()
 	parallel.SetWorkers(*jobs)
+	if *metricsOnly {
+		*which = "metrics"
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -135,5 +140,15 @@ func main() {
 	})
 	run("faults", func() error {
 		return experiments.PrintFaults(os.Stdout, "MobileNetV2")
+	})
+	run("metrics", func() error {
+		for _, opt := range []core.Options{core.Base(), core.Stratum()} {
+			rows, err := experiments.Utilization(opt)
+			if err != nil {
+				return err
+			}
+			experiments.PrintUtilization(os.Stdout, opt.Name(), rows)
+		}
+		return nil
 	})
 }

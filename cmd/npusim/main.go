@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -22,9 +23,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/models"
 	"repro/internal/parallel"
+	"repro/internal/plan"
 	"repro/internal/recovery"
+	"repro/internal/report"
 	"repro/internal/serialize"
 	"repro/internal/sim"
 	"repro/internal/spm"
@@ -46,6 +50,8 @@ func main() {
 	traceOut := flag.String("trace", "", "write Chrome trace JSON to this file")
 	gantt := flag.Int("gantt", 0, "print a text Gantt chart this many columns wide")
 	mem := flag.Bool("mem", false, "profile SPM occupancy per core")
+	metricsFlag := flag.Bool("metrics", false, "print the structured utilization report (event engine only)")
+	metricsOut := flag.String("metrics-out", "", "write the structured metrics report as JSON to this file (event engine only)")
 	faults := flag.String("faults", "", `fault spec, e.g. "drop=0.02,throttle=1@50000x0.5,kill=2@400000"`)
 	faultSeed := flag.Uint64("fault-seed", 0, "seed for probabilistic fault decisions")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for partition planning and reference kernels (1 forces serial)")
@@ -53,16 +59,20 @@ func main() {
 	flag.Parse()
 	parallel.SetWorkers(*jobs)
 
+	mo := metricsOpts{print: *metricsFlag, out: *metricsOut}
 	switch *engine {
 	case "event":
 	case "reference":
 		runSim = sim.RunReference
+		if mo.wanted() {
+			fatal(errors.New("-metrics/-metrics-out need the event engine (the reference oracle stays unobserved)"))
+		}
 	default:
 		fatal(fmt.Errorf("unknown engine %q (event, reference)", *engine))
 	}
 
 	if *inFile != "" {
-		simulateFile(*inFile, *traceOut, *gantt)
+		simulateFile(*inFile, *traceOut, *gantt, mo)
 		return
 	}
 
@@ -95,12 +105,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		runFaulted(g, a, opt, res, plan)
+		runFaulted(g, a, opt, res, plan, mo)
 		return
 	}
 
 	needTrace := *traceOut != "" || *gantt > 0 || *mem
-	out, err := runSim(res.Program, sim.Config{CollectTrace: needTrace})
+	col := mo.collector()
+	out, err := runSim(res.Program, sim.Config{CollectTrace: needTrace, Hook: col.hook()})
 	if err != nil {
 		fatal(err)
 	}
@@ -122,6 +133,13 @@ func main() {
 		stats.Summarize(idles), stats.Summarize(syncs),
 		out.Stats.Barriers, float64(out.Stats.TotalMACs())/1e9)
 
+	if mo.wanted() {
+		rep := buildReport(a, res.Program, &out.Stats, mo.col)
+		rep.AttachCompile(res)
+		rep.Model = g.Name
+		rep.Config = opt.Name()
+		emitMetrics(rep, mo)
+	}
 	if *mem {
 		profiles, err := spm.Profile(res.Program, out.Trace)
 		if err != nil {
@@ -149,8 +167,10 @@ func main() {
 }
 
 // runFaulted simulates under a fault plan and, when a core dies,
-// recovers the unexecuted suffix onto the surviving cores.
-func runFaulted(g *graph.Graph, a *arch.Arch, opt core.Options, res *core.Result, plan *fault.Plan) {
+// recovers the unexecuted suffix onto the surviving cores. Metrics
+// observe the first attempt: a completed run reports it whole; a
+// failed one reports the partial execution up to the failure.
+func runFaulted(g *graph.Graph, a *arch.Arch, opt core.Options, res *core.Result, plan *fault.Plan, mo metricsOpts) {
 	clock := a.ClockMHz
 	printRetries := func(per []sim.CoreStats) {
 		total := 0
@@ -161,18 +181,31 @@ func runFaulted(g *graph.Graph, a *arch.Arch, opt core.Options, res *core.Result
 			fmt.Printf("  %d DMA transfers dropped and re-issued\n", total)
 		}
 	}
+	emit := func(st *sim.Stats) {
+		if !mo.wanted() {
+			return
+		}
+		rep := buildReport(a, res.Program, st, mo.col)
+		rep.AttachCompile(res)
+		rep.Model = g.Name
+		rep.Config = opt.Name()
+		emitMetrics(rep, mo)
+	}
 
-	out, err := runSim(res.Program, sim.Config{Faults: plan})
+	col := mo.collector()
+	out, err := runSim(res.Program, sim.Config{Faults: plan, Hook: col.hook()})
 	if err == nil {
 		fmt.Printf("%s on %s, %s under faults [%s]: %.1f us end-to-end\n",
 			g.Name, a.Name, opt.Name(), plan, out.Stats.LatencyMicros(clock))
 		printRetries(out.Stats.PerCore)
+		emit(&out.Stats)
 		return
 	}
 	var cf *sim.CoreFailure
 	if !errors.As(err, &cf) {
 		fatal(err)
 	}
+	emit(&cf.Partial)
 
 	rec, err := recovery.Recover(g, a, cf, recovery.Options{Opt: opt, Sim: sim.Config{Faults: plan}})
 	if err != nil {
@@ -196,8 +229,10 @@ func runFaulted(g *graph.Graph, a *arch.Arch, opt core.Options, res *core.Result
 	printRetries(merged.PerCore)
 }
 
-// simulateFile replays a precompiled program artifact.
-func simulateFile(path, traceOut string, gantt int) {
+// simulateFile replays a precompiled program artifact. Compile-side
+// metrics (strata, pass timings) are unavailable here — the report
+// covers the run only.
+func simulateFile(path, traceOut string, gantt int, mo metricsOpts) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -207,12 +242,18 @@ func simulateFile(path, traceOut string, gantt int) {
 	if err != nil {
 		fatal(err)
 	}
-	out, err := runSim(p, sim.Config{CollectTrace: traceOut != "" || gantt > 0})
+	col := mo.collector()
+	out, err := runSim(p, sim.Config{CollectTrace: traceOut != "" || gantt > 0, Hook: col.hook()})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("%s on %s: %.1f us end-to-end (replayed from %s)\n",
 		p.Graph.Name, p.Arch.Name, out.Stats.LatencyMicros(p.Arch.ClockMHz), path)
+	if mo.wanted() {
+		rep := buildReport(p.Arch, p, &out.Stats, mo.col)
+		rep.Model = p.Graph.Name
+		emitMetrics(rep, mo)
+	}
 	if gantt > 0 {
 		if err := trace.Gantt(os.Stdout, out.Trace, p.Arch, gantt); err != nil {
 			fatal(err)
@@ -227,6 +268,67 @@ func simulateFile(path, traceOut string, gantt int) {
 		if err := trace.WriteChrome(tf, out.Trace, p.Arch); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// metricsOpts carries the -metrics/-metrics-out request plus the
+// collector observing the run (nil when metrics are off, which keeps
+// the engine's nil-hook fast path).
+type metricsOpts struct {
+	print bool
+	out   string
+	col   *metrics.Collector
+}
+
+func (mo metricsOpts) wanted() bool { return mo.print || mo.out != "" }
+
+// collector lazily allocates the hook and returns the opts themselves
+// so call sites can thread one value through.
+func (mo *metricsOpts) collector() *metricsOpts {
+	if mo.wanted() && mo.col == nil {
+		mo.col = &metrics.Collector{}
+	}
+	return mo
+}
+
+// hook returns the sim.Hook to install: a typed nil interface when
+// metrics are off.
+func (mo *metricsOpts) hook() sim.Hook {
+	if mo.col == nil {
+		return nil
+	}
+	return mo.col
+}
+
+// buildReport assembles the metrics report for a whole-platform run of
+// one program (the placement Run uses).
+func buildReport(a *arch.Arch, p *plan.Program, st *sim.Stats, col *metrics.Collector) *metrics.Report {
+	cores := make([]int, a.NumCores())
+	for i := range cores {
+		cores[i] = i
+	}
+	return metrics.BuildReport(a, []sim.Placement{{Program: p, Cores: cores}}, st, col)
+}
+
+// emitMetrics prints and/or writes the report per the flags.
+func emitMetrics(rep *metrics.Report, mo metricsOpts) {
+	if mo.print {
+		if err := report.Utilization(os.Stdout, rep); err != nil {
+			fatal(err)
+		}
+	}
+	if mo.out != "" {
+		f, err := os.Create(mo.out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", mo.out)
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/graph"
@@ -13,6 +14,7 @@ import (
 
 // Compile lowers graph g for architecture a under the given options.
 func Compile(g *graph.Graph, a *arch.Arch, opt Options) (*Result, error) {
+	t0 := time.Now()
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -21,14 +23,18 @@ func Compile(g *graph.Graph, a *arch.Arch, opt Options) (*Result, error) {
 	}
 
 	// Stage 1: partition every layer (heuristics h1-h5 or forced mode).
+	var tm Timing
+	mark := time.Now()
 	part := partition.New(g, a)
 	part.Mode = opt.Partitioning
 	part.WeightScale = opt.WeightScale
 	plans := part.PlanAll()
+	tm.Partition = time.Since(mark)
 
 	// Stage 2: schedule layer execution. Algorithm 1's
 	// spatial_partitioning() predicate reads the partition decision;
 	// the pure depth-/breadth-first orders serve as ablations.
+	mark = time.Now()
 	var order []graph.LayerID
 	switch opt.Scheduling {
 	case ScheduleDepthFirst:
@@ -42,9 +48,11 @@ func Compile(g *graph.Graph, a *arch.Arch, opt Options) (*Result, error) {
 	if err := schedule.Verify(g, order); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	tm.Schedule = time.Since(mark)
 
 	// Stage 3: stratum construction (Algorithm 2), or singleton strata
 	// when disabled.
+	mark = time.Now()
 	builder := stratum.New(g, a, plans, order)
 	var strata []stratum.Stratum
 	if opt.Stratum {
@@ -61,19 +69,24 @@ func Compile(g *graph.Graph, a *arch.Arch, opt Options) (*Result, error) {
 	for _, s := range strata {
 		redundant += s.RedundantMACs
 	}
+	tm.Stratum = time.Since(mark)
 
 	// Stage 4: tile and lower to per-core instruction streams.
+	mark = time.Now()
 	em := newEmitter(g, a, opt, plans, order, strata)
 	prog, err := em.emit()
 	if err != nil {
 		return nil, err
 	}
+	tm.Emit = time.Since(mark)
+	tm.Total = time.Since(t0)
 	return &Result{
 		Program:       prog,
 		Plans:         plans,
 		Order:         order,
 		Strata:        strata,
 		RedundantMACs: redundant,
+		Timing:        tm,
 	}, nil
 }
 

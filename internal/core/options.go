@@ -7,6 +7,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/plan"
@@ -119,6 +121,17 @@ func (o Options) Name() string {
 	}
 }
 
+// Timing records the wall-clock cost of each compile pass. Cached
+// compiles (CompileCached hits) return the timing of the original
+// compilation, not the lookup.
+type Timing struct {
+	Partition time.Duration // stage 1: heuristics h1-h5
+	Schedule  time.Duration // stage 2: Algorithm 1 + verification
+	Stratum   time.Duration // stage 3: Algorithm 2 + trimming + validation
+	Emit      time.Duration // stage 4: tiling + lowering
+	Total     time.Duration // end to end, input validation included
+}
+
 // Result is the outcome of compilation.
 type Result struct {
 	// Program is the lowered, simulatable schedule.
@@ -132,4 +145,6 @@ type Result struct {
 	Strata []stratum.Stratum
 	// RedundantMACs is the extra compute stratum construction added.
 	RedundantMACs int64
+	// Timing is the wall-clock cost of each compile pass.
+	Timing Timing
 }

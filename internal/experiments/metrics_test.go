@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/models"
+)
+
+func TestUtilizationSweep(t *testing.T) {
+	rows, err := Utilization(core.Stratum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(models.All()) {
+		t.Fatalf("%d rows for %d models", len(rows), len(models.All()))
+	}
+	for _, r := range rows {
+		f := r.MeanFractions
+		sum := f.Compute + f.Halo + f.Load + f.Store + f.Stall + f.Idle
+		if d := sum - 1; d > 1e-9 || d < -1e-9 {
+			t.Errorf("%s: mean fractions sum to %.12f", r.Model, sum)
+		}
+		if f.Compute <= 0 {
+			t.Errorf("%s: no compute attributed", r.Model)
+		}
+		if r.Report == nil || r.Report.Model != r.Model || len(r.Report.Strata) == 0 {
+			t.Errorf("%s: incomplete report", r.Model)
+		}
+	}
+	var sb strings.Builder
+	PrintUtilization(&sb, core.Stratum().Name(), rows)
+	out := sb.String()
+	for _, want := range []string{"Figure 10", "compute", "InceptionV3", "UNet"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

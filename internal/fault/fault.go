@@ -165,8 +165,10 @@ type TimedEvent struct {
 }
 
 // Timeline merges the plan's throttles and deaths into one event queue
-// sorted by (AtCycle, kind, declaration order) — the order the
-// simulator's event engine consumes them in. Events naming cores at or
+// sorted by (AtCycle, kind, core, declaration order) — the order the
+// simulator's event engine consumes them in. The core tie-break keeps
+// the order independent of how the plan happened to list same-cycle,
+// same-kind events on different cores. Events naming cores at or
 // beyond ncores are dropped (inert by the Plan contract). The returned
 // slice is appended to buf, letting callers reuse a scratch buffer
 // across runs without steady-state allocation.
@@ -189,7 +191,10 @@ func (p *Plan) Timeline(ncores int, buf []TimedEvent) []TimedEvent {
 		if out[i].AtCycle != out[j].AtCycle {
 			return out[i].AtCycle < out[j].AtCycle
 		}
-		return out[i].Kind < out[j].Kind
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Core < out[j].Core
 	})
 	return out
 }

@@ -148,3 +148,42 @@ func TestSortedEvents(t *testing.T) {
 		t.Error("SortedThrottles mutated the plan")
 	}
 }
+
+func TestTimelineCollidingCycles(t *testing.T) {
+	// Same-cycle events must order by (kind, core) no matter how the
+	// plan lists them: throttles before deaths, then ascending core.
+	p := &Plan{
+		Throttles: []Throttle{
+			{Core: 2, AtCycle: 100, Factor: 0.5},
+			{Core: 0, AtCycle: 100, Factor: 0.25},
+		},
+		Deaths: []Death{
+			{Core: 1, AtCycle: 100},
+			{Core: 0, AtCycle: 100},
+			{Core: 2, AtCycle: 50},
+		},
+	}
+	got := p.Timeline(3, nil)
+	want := []TimedEvent{
+		{Kind: KindDeath, Core: 2, AtCycle: 50},
+		{Kind: KindThrottle, Core: 0, AtCycle: 100, Factor: 0.25},
+		{Kind: KindThrottle, Core: 2, AtCycle: 100, Factor: 0.5},
+		{Kind: KindDeath, Core: 0, AtCycle: 100},
+		{Kind: KindDeath, Core: 1, AtCycle: 100},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("timeline order:\n got %+v\nwant %+v", got, want)
+	}
+	// A permuted plan produces the identical timeline.
+	q := &Plan{
+		Throttles: []Throttle{p.Throttles[1], p.Throttles[0]},
+		Deaths:    []Death{p.Deaths[2], p.Deaths[0], p.Deaths[1]},
+	}
+	if got2 := q.Timeline(3, nil); !reflect.DeepEqual(got2, want) {
+		t.Errorf("permuted plan diverged:\n got %+v\nwant %+v", got2, want)
+	}
+	// Events on cores the architecture lacks stay inert.
+	if short := p.Timeline(1, nil); len(short) != 2 {
+		t.Errorf("ncores=1 timeline has %d events, want 2: %+v", len(short), short)
+	}
+}

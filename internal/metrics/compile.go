@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/plan"
+)
+
+// StratumReport is the paper's stratum-cost metric for one stratum:
+// how much redundant halo computation buying the barrier-free chain
+// cost, relative to the compute actually executed.
+type StratumReport struct {
+	Index  int
+	Layers []int
+	// ExecutedMACs is the compute lowered for the stratum's layers
+	// (redundant work included), summed over cores from the program.
+	ExecutedMACs int64
+	// RedundantMACs is the extra compute versus the plain partition
+	// plan (stratum.Stratum.RedundantMACs).
+	RedundantMACs int64
+	// RedundancyRatio is RedundantMACs / ExecutedMACs (0 when the
+	// stratum executes nothing, e.g. a pure input stratum).
+	RedundancyRatio float64
+}
+
+// CompileReport is the compile-pass wall-clock timing in milliseconds.
+type CompileReport struct {
+	PartitionMillis float64
+	ScheduleMillis  float64
+	StratumMillis   float64
+	EmitMillis      float64
+	TotalMillis     float64
+}
+
+// AttachCompile augments a run report with compile-side facts: the
+// per-stratum halo-redundancy ratios and the compile-pass timings.
+// Call it with the core.Result the simulated program came from.
+func (r *Report) AttachCompile(res *core.Result) {
+	r.Strata = StratumReports(res)
+	tm := res.Timing
+	r.Compile = &CompileReport{
+		PartitionMillis: float64(tm.Partition.Nanoseconds()) / 1e6,
+		ScheduleMillis:  float64(tm.Schedule.Nanoseconds()) / 1e6,
+		StratumMillis:   float64(tm.Stratum.Nanoseconds()) / 1e6,
+		EmitMillis:      float64(tm.Emit.Nanoseconds()) / 1e6,
+		TotalMillis:     float64(tm.Total.Nanoseconds()) / 1e6,
+	}
+}
+
+// StratumReports computes per-stratum redundancy ratios from a compile
+// result. Executed MACs come from the lowered program, so the ratios
+// are exact for what the simulator runs, independent of whether a
+// particular observed run completed.
+func StratumReports(res *core.Result) []StratumReport {
+	// Per-layer executed MACs from the instruction streams.
+	perLayer := map[graph.LayerID]int64{}
+	for _, stream := range res.Program.Cores {
+		for _, in := range stream {
+			if in.Op == plan.Compute {
+				perLayer[in.Layer] += in.MACs
+			}
+		}
+	}
+	out := make([]StratumReport, len(res.Strata))
+	for i, s := range res.Strata {
+		sr := StratumReport{Index: i, RedundantMACs: s.RedundantMACs}
+		for _, id := range s.Layers {
+			sr.Layers = append(sr.Layers, int(id))
+			sr.ExecutedMACs += perLayer[id]
+		}
+		if sr.ExecutedMACs > 0 {
+			sr.RedundancyRatio = float64(sr.RedundantMACs) / float64(sr.ExecutedMACs)
+		}
+		out[i] = sr
+	}
+	return out
+}

@@ -7,7 +7,9 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/models"
+	"repro/internal/sim"
 )
 
 func compiled(t *testing.T) (*core.Result, func() *bytes.Buffer) {
@@ -87,5 +89,37 @@ func TestInstrSummary(t *testing.T) {
 	}
 	if total != res.Program.NumInstrs() {
 		t.Errorf("summary total %d != %d", total, res.Program.NumInstrs())
+	}
+}
+
+func TestUtilizationTable(t *testing.T) {
+	res, buf := compiled(t)
+	col := &metrics.Collector{}
+	out, err := sim.Run(res.Program, sim.Config{Hook: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Program.Arch
+	cores := make([]int, a.NumCores())
+	for i := range cores {
+		cores[i] = i
+	}
+	rep := metrics.BuildReport(a, []sim.Placement{{Program: res.Program, Cores: cores}}, &out.Stats, col)
+	rep.AttachCompile(res)
+	rep.Model = "TinyCNN"
+	rep.Config = "+Stratum"
+	w := buf()
+	if err := Utilization(w, rep); err != nil {
+		t.Fatal(err)
+	}
+	s := w.String()
+	for _, want := range []string{"TinyCNN", "+Stratum", "compute", "P0", "SPM P0", "bus:", "compile:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("utilization table missing %q:\n%s", want, s)
+		}
+	}
+	// One row per core plus one SPM line per core.
+	if n := strings.Count(s, "SPM P"); n != a.NumCores() {
+		t.Errorf("%d SPM lines for %d cores", n, a.NumCores())
 	}
 }

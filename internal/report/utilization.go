@@ -1,0 +1,66 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+)
+
+// Utilization renders a metrics.Report for humans: per-core exclusive
+// cycle attribution (Figure 10's stacked-bar categories as a table),
+// SPM high-water marks, a bus-contention summary, the per-stratum
+// redundancy ratios, and compile-pass timings when attached.
+func Utilization(w io.Writer, rep *metrics.Report) error {
+	title := "Utilization"
+	if rep.Model != "" {
+		title += " " + rep.Model
+	}
+	if rep.Config != "" {
+		title += " " + rep.Config
+	}
+	if _, err := fmt.Fprintf(w, "%s: %.1f us (%.0f cycles @ %d MHz), %d barriers\n",
+		title, rep.LatencyMicros, rep.TotalCycles, rep.ClockMHz, rep.Barriers); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-5s %8s %8s %8s %8s %8s %8s %9s %8s\n",
+		"core", "compute", "halo", "load", "store", "stall", "idle", "MMACs", "retries")
+	for _, cr := range rep.Cores {
+		f := cr.Exclusive.Fractions(cr.TotalCycles)
+		fmt.Fprintf(w, "P%-4d %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% %9.2f %8d\n",
+			cr.Core, 100*f.Compute, 100*f.Halo, 100*f.Load, 100*f.Store, 100*f.Stall, 100*f.Idle,
+			float64(cr.MACs)/1e6, cr.Retries)
+	}
+	for _, sp := range rep.SPM {
+		status := "fits"
+		if !sp.Fits {
+			status = "OVERFLOWS"
+		}
+		fmt.Fprintf(w, "SPM P%d: peak %d KB of %d KB (%.0f%%, %s) across %d buffers\n",
+			sp.Core, sp.PeakBytes/1024, sp.CapacityBytes/1024, 100*sp.Utilization, status, sp.Buffers)
+	}
+	b := rep.Bus
+	if rep.TotalCycles > 0 {
+		fmt.Fprintf(w, "bus: busy %.1f%%, contended %.1f%%, avg %.1f/%.1f B/cyc granted/demanded (ceiling %.0f), peak %d channels\n",
+			100*b.BusyCycles/rep.TotalCycles, 100*b.ContendedCycles/rep.TotalCycles,
+			b.AvgGranted, b.AvgDemand, b.CapacityBytesPerCycle, b.PeakChannels)
+	}
+	var redundant, executed int64
+	multi := 0
+	for _, sr := range rep.Strata {
+		redundant += sr.RedundantMACs
+		executed += sr.ExecutedMACs
+		if len(sr.Layers) > 1 {
+			multi++
+		}
+	}
+	if executed > 0 {
+		fmt.Fprintf(w, "strata: %d (%d multi-layer), redundant %.2f MMACs = %.2f%% of executed\n",
+			len(rep.Strata), multi, float64(redundant)/1e6, 100*float64(redundant)/float64(executed))
+	}
+	if c := rep.Compile; c != nil {
+		fmt.Fprintf(w, "compile: %.1f ms (partition %.1f, schedule %.1f, stratum %.1f, emit %.1f)\n",
+			c.TotalMillis, c.PartitionMillis, c.ScheduleMillis, c.StratumMillis, c.EmitMillis)
+	}
+	return nil
+}

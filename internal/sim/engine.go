@@ -504,6 +504,11 @@ func (m *machine) run(a *arch.Arch, placements []Placement, cfg Config) (*Result
 	for c := 0; c < ncores; c++ {
 		m.stats.PerCore[c].Idle = m.stats.TotalCycles - mergedLength(m.busyIv[c])
 	}
+	if h := m.cfg.Hook; h != nil {
+		// Close the bus series: the last rebuild's allocation ends here
+		// (the final transfer's completion need not trigger a rebuild).
+		h.OnBus(BusSample{At: m.now})
+	}
 	return &Result{Stats: m.stats, Trace: m.trace}, nil
 }
 
@@ -615,6 +620,17 @@ func (m *machine) rebuildChannels() {
 		m.rates[ch.nid] = r
 		remainingBW -= r
 	}
+	if h := m.cfg.Hook; h != nil {
+		s := BusSample{At: m.now, Channels: len(m.chans), DirectChannels: len(m.direct)}
+		for _, ch := range m.chans {
+			s.Demand += ch.cap
+			s.Granted += m.rates[ch.nid]
+		}
+		for _, ch := range m.direct {
+			s.DirectGranted += m.rates[ch.nid]
+		}
+		h.OnBus(s)
+	}
 }
 
 // completeDMA finishes (or drops) every in-flight transfer whose bytes
@@ -693,6 +709,13 @@ func (m *machine) finishNode(nid int, t float64) {
 		m.trace = append(m.trace, Event{
 			Core: c, Index: int(m.indexOf[nid]), Op: n.in.Op, Layer: n.in.Layer, Tile: n.in.Tile,
 			Start: n.start, End: t, Retries: n.attempt, Note: n.in.Note,
+		})
+	}
+	if h := m.cfg.Hook; h != nil {
+		h.OnInstr(InstrSample{
+			Placement: int(m.progOf[nid]), Core: c, Index: int(m.indexOf[nid]),
+			Op: n.in.Op, Layer: n.in.Layer, Tile: n.in.Tile,
+			Start: n.start, End: t, Bytes: n.in.Bytes, MACs: n.in.MACs, Retries: n.attempt,
 		})
 	}
 	ei := c*numEngines + int(eng)

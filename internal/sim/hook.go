@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"repro/internal/graph"
+	"repro/internal/plan"
+)
+
+// Hook observes the event engine's execution for metrics collection
+// (package metrics implements it). The contract is strict so the hook
+// cannot perturb the simulation or its performance:
+//
+//   - A nil Config.Hook costs one predicted branch per retired
+//     instruction and per bus reallocation — the zero-allocation
+//     steady-state path is unchanged.
+//   - Methods are called synchronously from the engine loop and must
+//     not retain pointers into engine scratch; both sample types are
+//     plain values with no references, so storing them is safe.
+//   - The hook is a pure observer: the engine's results are
+//     bit-identical with and without one (the equivalence suite runs a
+//     recording hook to enforce this).
+//   - Only the production event engine (engine.go) feeds hooks. The
+//     retained reference engine ignores Config.Hook — it exists as the
+//     bit-identity oracle and stays unobserved and boring.
+type Hook interface {
+	// OnInstr fires once per retired instruction, in completion order
+	// (the same order Stats accumulation and the trace observe).
+	OnInstr(InstrSample)
+	// OnBus fires whenever the bus water-filling set is rebuilt
+	// (membership or core-speed change) with the new allocation, and
+	// once more at the end of the run with an empty allocation, closing
+	// the series. Between consecutive samples the allocation is
+	// constant, so the series is exact, not sampled.
+	OnBus(BusSample)
+}
+
+// InstrSample is one retired instruction, as seen by a Hook.
+type InstrSample struct {
+	// Placement indexes the Placement slice of the run (0 for Run).
+	Placement int
+	// Core is the global core that executed the instruction.
+	Core int
+	// Index is the instruction's position within its core-local stream.
+	Index int
+	Op    plan.OpCode
+	Layer graph.LayerID
+	Tile  int
+	Start float64 // cycles; retried DMA transfers keep their first issue time
+	End   float64 // cycles
+	// Bytes and MACs are the instruction's declared sizes (a dropped
+	// and re-issued transfer reports Bytes once; Retries counts the
+	// extra bus trips).
+	Bytes   int64
+	MACs    int64
+	Retries int
+}
+
+// BusSample is one step of the shared-bus allocation series: the
+// water-filling result at time At, valid until the next sample.
+type BusSample struct {
+	At float64 // cycles
+	// Demand is the sum of the in-flight bus channels' DMA-engine
+	// capacities (bytes/cycle) — what the cores would move with no bus
+	// ceiling.
+	Demand float64
+	// Granted is the sum of the allocated rates (bytes/cycle);
+	// Granted <= min(Demand, Arch.BusBytesPerCycle). Demand > Granted
+	// means the bus is contended.
+	Granted float64
+	// Channels is the number of transfers sharing the bus.
+	Channels int
+	// DirectGranted is the aggregate rate of transfers on the dedicated
+	// halo interconnect (zero unless Arch.DirectHaloInterconnect).
+	DirectGranted float64
+	// DirectChannels is the number of transfers on the dedicated link.
+	DirectChannels int
+}

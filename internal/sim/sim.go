@@ -136,6 +136,11 @@ type Config struct {
 	// that loses a core returns a *CoreFailure error carrying the
 	// checkpoint recovery resumes from.
 	Faults *fault.Plan
+	// Hook observes the run for metrics collection (see the Hook doc
+	// for the zero-overhead contract). Nil disables observation. Only
+	// the event engine feeds hooks; the reference engine ignores this
+	// field.
+	Hook Hook
 }
 
 const eps = 1e-6

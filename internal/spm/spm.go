@@ -37,8 +37,24 @@ type CoreProfile struct {
 func (c CoreProfile) Fits() bool { return c.PeakBytes <= c.CapacityBytes }
 
 // Profile computes per-core SPM occupancy from a program and the
-// trace of its simulation (sim.Config{CollectTrace: true}).
+// trace of its simulation (sim.Config{CollectTrace: true}). The trace
+// must be complete; use ProfileTimeline for partial timelines.
 func Profile(p *plan.Program, trace []sim.Event) ([]CoreProfile, error) {
+	if len(trace) != p.NumInstrs() {
+		return nil, fmt.Errorf("spm: trace has %d events for %d instructions (was CollectTrace set?)",
+			len(trace), p.NumInstrs())
+	}
+	return ProfileTimeline(p, trace), nil
+}
+
+// ProfileTimeline computes per-core SPM occupancy from a program and
+// whatever execution timeline is available. Unlike Profile it tolerates
+// partial timelines (a run cut short by an injected core failure):
+// instructions without a recorded event never allocated their buffers
+// and are skipped, and a buffer whose readers never ran dies at its
+// producer's completion. On a complete trace the result is identical
+// to Profile's.
+func ProfileTimeline(p *plan.Program, trace []sim.Event) []CoreProfile {
 	ncores := p.Arch.NumCores()
 
 	// Times per instruction, keyed by (core, index).
@@ -48,10 +64,6 @@ func Profile(p *plan.Program, trace []sim.Event) ([]CoreProfile, error) {
 	for _, ev := range trace {
 		start[key{ev.Core, ev.Index}] = ev.Start
 		end[key{ev.Core, ev.Index}] = ev.End
-	}
-	if len(trace) != p.NumInstrs() {
-		return nil, fmt.Errorf("spm: trace has %d events for %d instructions (was CollectTrace set?)",
-			len(trace), p.NumInstrs())
 	}
 
 	// dependents[core][i] lists instructions depending on (core, i).
@@ -77,18 +89,16 @@ func Profile(p *plan.Program, trace []sim.Event) ([]CoreProfile, error) {
 		for i, in := range stream {
 			k := key{c, i}
 			var bytes int64
-			var from float64
 			switch in.Op {
 			case plan.LoadInput, plan.LoadKernel, plan.LoadHalo:
 				bytes = in.Bytes
-				from = start[k]
 			case plan.Compute:
 				bytes = in.OutBytes
-				from = start[k]
 			default:
 				continue // stores read an existing buffer
 			}
-			if bytes <= 0 {
+			from, ran := start[k]
+			if bytes <= 0 || !ran {
 				continue
 			}
 			// The buffer dies when its last reader finishes: dependent
@@ -146,7 +156,7 @@ func Profile(p *plan.Program, trace []sim.Event) ([]CoreProfile, error) {
 		profiles[c].PeakBytes = peak
 		profiles[c].PeakAtCycle = peakAt
 	}
-	return profiles, nil
+	return profiles
 }
 
 // Report formats the profiles for humans.

@@ -91,10 +91,24 @@ func Gantt(w io.Writer, events []sim.Event, a *arch.Arch, columns int) error {
 		if row == nil {
 			continue
 		}
+		// Clamp both bucket indices: an event starting exactly at the
+		// timeline end (or an instantaneous event there) maps to bucket
+		// `columns`, one past the row. Clamping lo — not just hi — keeps
+		// such events visible in the final column, and forcing hi >= lo
+		// renders zero-duration events as a single cell.
 		lo := int(ev.Start / bucket)
 		hi := int(ev.End / bucket)
+		if lo < 0 {
+			lo = 0
+		}
+		if lo >= columns {
+			lo = columns - 1
+		}
 		if hi >= columns {
 			hi = columns - 1
+		}
+		if hi < lo {
+			hi = lo
 		}
 		for i := lo; i <= hi; i++ {
 			g := glyph(ev.Op)
@@ -144,13 +158,21 @@ type chromeEvent struct {
 }
 
 // WriteChrome serializes events as a Chrome trace (microseconds),
-// grouping by core (pid) and engine lane (tid).
+// grouping by core (pid) and engine lane (tid). Events without a note
+// fall back to the opcode mnemonic, so halo transfers and barriers stay
+// distinguishable from plain loads/stores in the viewer. The output is
+// deterministic for a given trace: ties on timestamp break by core,
+// lane, duration, then name.
 func WriteChrome(w io.Writer, events []sim.Event, a *arch.Arch) error {
 	out := make([]chromeEvent, 0, len(events))
 	toUS := func(cycles float64) float64 { return cycles / float64(a.ClockMHz) }
 	for _, ev := range events {
+		name := ev.Note
+		if name == "" {
+			name = ev.Op.String()
+		}
 		out = append(out, chromeEvent{
-			Name: ev.Note,
+			Name: name,
 			Ph:   "X",
 			Ts:   toUS(ev.Start),
 			Dur:  toUS(ev.End - ev.Start),
@@ -158,7 +180,22 @@ func WriteChrome(w io.Writer, events []sim.Event, a *arch.Arch) error {
 			TID:  laneOf(ev.Op),
 		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Ts != b.Ts {
+			return a.Ts < b.Ts
+		}
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		if a.Dur != b.Dur {
+			return a.Dur < b.Dur
+		}
+		return a.Name < b.Name
+	})
 	enc := json.NewEncoder(w)
 	return enc.Encode(map[string]any{"traceEvents": out})
 }
