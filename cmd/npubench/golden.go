@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/models"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// regenGoldens rewrites the repository's simulator golden files in
+// place (the -regen-golden flag, also reachable through go:generate):
+//
+//   - internal/sim/testdata/golden_cycles.json — the reference engine's
+//     cycle counts for every benchmark model compiled under +Stratum on
+//     the three-core platform, across the equivalence fault matrix
+//     (minus the kill plan, whose failure path the DeepEqual tests
+//     cover);
+//   - internal/trace/testdata/chrome_tinycnn.json — the exact Chrome
+//     trace JSON of TinyCNN under +Halo.
+//
+// The generation mirrors TestEngineGoldenCycles and TestChromeGolden
+// byte for byte, and cross-checks the event engine against the
+// reference engine on every golden point so a regen can never pin a
+// divergent pair.
+func regenGoldens() error {
+	root, err := repoRoot()
+	if err != nil {
+		return err
+	}
+	if err := regenGoldenCycles(filepath.Join(root, "internal", "sim", "testdata", "golden_cycles.json")); err != nil {
+		return err
+	}
+	return regenChromeTrace(filepath.Join(root, "internal", "trace", "testdata", "chrome_tinycnn.json"))
+}
+
+// repoRoot walks up from the working directory to the directory holding
+// go.mod, so the regen works from any subdirectory of the repository.
+func repoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("regen-golden: no go.mod above %s (run inside the repository)", dir)
+		}
+		dir = parent
+	}
+}
+
+// goldenFaultPlans mirrors the sim equivalence matrix minus the kill
+// plan. The kill cycle parameter scales the throttle times to the
+// model's fault-free latency, exactly as the tests do.
+func goldenFaultPlans(killCycle float64) []struct {
+	name string
+	plan *fault.Plan
+} {
+	return []struct {
+		name string
+		plan *fault.Plan
+	}{
+		{"none", nil},
+		{"drop", &fault.Plan{Seed: 7, DropRate: 0.01}},
+		{"throttle-drop", &fault.Plan{
+			Seed:     11,
+			DropRate: 0.005,
+			Throttles: []fault.Throttle{
+				{Core: 1, AtCycle: killCycle * 0.2, Factor: 0.5},
+				{Core: 0, AtCycle: killCycle * 0.5, Factor: 0.25},
+				{Core: 1, AtCycle: killCycle * 0.8, Factor: 1},
+			},
+		}},
+	}
+}
+
+func regenGoldenCycles(path string) error {
+	a := arch.Exynos2100Like()
+	got := map[string]float64{}
+	for _, m := range append(models.All(), models.Extra()...) {
+		res, err := core.Compile(m.Build(), a, core.Stratum())
+		if err != nil {
+			return fmt.Errorf("regen-golden: compile %s: %w", m.Name, err)
+		}
+		base, err := sim.RunReference(res.Program, sim.Config{})
+		if err != nil {
+			return fmt.Errorf("regen-golden: %s: reference run: %w", m.Name, err)
+		}
+		cores := make([]int, a.NumCores())
+		for i := range cores {
+			cores[i] = i
+		}
+		pl := []sim.Placement{{Program: res.Program, Cores: cores}}
+		for _, tc := range goldenFaultPlans(base.Stats.TotalCycles) {
+			key := m.Name + "/" + tc.name
+			cfg := sim.Config{Faults: tc.plan}
+			ref, err := sim.RunConcurrentReference(a, pl, cfg)
+			if err != nil {
+				return fmt.Errorf("regen-golden: %s: reference: %w", key, err)
+			}
+			ev, err := sim.RunConcurrent(a, pl, cfg)
+			if err != nil {
+				return fmt.Errorf("regen-golden: %s: event: %w", key, err)
+			}
+			if ev.Stats.TotalCycles != ref.Stats.TotalCycles {
+				return fmt.Errorf("regen-golden: %s: engines diverge (event %v, reference %v) — refusing to pin",
+					key, ev.Stats.TotalCycles, ref.Stats.TotalCycles)
+			}
+			got[key] = ref.Stats.TotalCycles
+		}
+	}
+	data, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d golden cycle entries to %s\n", len(got), path)
+	return nil
+}
+
+func regenChromeTrace(path string) error {
+	a := arch.Exynos2100Like()
+	res, err := core.Compile(models.TinyCNN(), a, core.Halo())
+	if err != nil {
+		return fmt.Errorf("regen-golden: compile TinyCNN: %w", err)
+	}
+	out, err := sim.Run(res.Program, sim.Config{CollectTrace: true})
+	if err != nil {
+		return fmt.Errorf("regen-golden: TinyCNN run: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, out.Trace, a); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote Chrome trace golden to %s\n", path)
+	return nil
+}

@@ -25,17 +25,28 @@ import (
 )
 
 func main() {
-	which := flag.String("experiment", "all", "fig11, fig12, table1, table2, table4, table5, ablation, concurrent, faults, metrics, or all")
+	which := flag.String("experiment", "all", "fig11, fig12, table1, table2, table4, table5, ablation, concurrent, faults, metrics, spm, or all")
 	metricsOnly := flag.Bool("metrics", false, "print the Figure-10-style utilization table for the Table 2 nets (alias for -experiment metrics)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for compile/simulate sweeps (1 forces serial)")
 	benchJSON := flag.String("bench-json", "", "A/B-benchmark the event simulator engine against the reference engine, write the report to this file, and exit")
 	benchTime := flag.Duration("bench-time", time.Second, "per-measurement duration for -bench-json")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
+	strictSPM := flag.Bool("strict-spm", true, "fail experiments on SPM overflow in the simulator; =false tolerates over-budget schedules")
+	regenGolden := flag.Bool("regen-golden", false, "regenerate the simulator golden files under internal/{sim,trace}/testdata and exit")
 	flag.Parse()
 	parallel.SetWorkers(*jobs)
+	experiments.StrictSPM = *strictSPM
 	if *metricsOnly {
 		*which = "metrics"
+	}
+
+	if *regenGolden {
+		if err := regenGoldens(); err != nil {
+			fmt.Fprintf(os.Stderr, "npubench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *cpuProfile != "" {
@@ -140,6 +151,9 @@ func main() {
 	})
 	run("faults", func() error {
 		return experiments.PrintFaults(os.Stdout, "MobileNetV2")
+	})
+	run("spm", func() error {
+		return spmGate(os.Stdout)
 	})
 	run("metrics", func() error {
 		for _, opt := range []core.Options{core.Base(), core.Stratum()} {

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/models"
+)
+
+// spmGate is the strict-SPM CI gate: compile every Table 2 model under
+// every configuration on both platforms and report how far the
+// graceful-degradation chain had to back off. Any model that exhausts
+// the chain (UnfitError) fails the gate, so CI catches a tiler or
+// emitter regression that breaks SPM admission before it lands.
+func spmGate(w io.Writer) error {
+	type point struct {
+		name string
+		a    *arch.Arch
+		opt  core.Options
+	}
+	multi := arch.Exynos2100Like()
+	single := arch.SingleCore()
+	points := []point{
+		{"single/base", single, core.Base()},
+		{"multi/base", multi, core.Base()},
+		{"multi/halo", multi, core.Halo()},
+		{"multi/stratum", multi, core.Stratum()},
+	}
+	fmt.Fprintf(w, "strict-SPM gate: fallback level per model x config (admission-checked on %s)\n", multi.Name)
+	fmt.Fprintf(w, "%-17s %-22s %-22s %-22s %-22s\n", "Model", points[0].name, points[1].name, points[2].name, points[3].name)
+	failed := 0
+	for _, m := range models.All() {
+		fmt.Fprintf(w, "%-17s", m.Name)
+		for _, p := range points {
+			res, err := core.Compile(m.Build(), p.a, p.opt)
+			if err != nil {
+				failed++
+				fmt.Fprintf(w, " %-22s", "UNFIT")
+				continue
+			}
+			cell := res.Fallback.String()
+			if n := len(res.Downgrades); n > 0 {
+				cell = fmt.Sprintf("%s(%d)", cell, n)
+			}
+			fmt.Fprintf(w, " %-22s", cell)
+		}
+		fmt.Fprintln(w)
+	}
+	if failed > 0 {
+		return fmt.Errorf("spm gate: %d model/config points exhausted the fallback chain", failed)
+	}
+	fmt.Fprintln(w, "all model/config points admitted within SPM capacity")
+	return nil
+}

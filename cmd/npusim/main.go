@@ -41,6 +41,10 @@ import (
 // bit-identical by the sim package's equivalence tests.
 var runSim = sim.Run
 
+// noSPMCheck disables the simulator's SPM admission check
+// (-strict-spm=false); both engines honor it identically.
+var noSPMCheck bool
+
 func main() {
 	model := flag.String("model", "MobileNetV2", "benchmark model name")
 	cores := flag.Int("cores", 3, "number of NPU cores")
@@ -56,8 +60,10 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 0, "seed for probabilistic fault decisions")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for partition planning and reference kernels (1 forces serial)")
 	engine := flag.String("engine", "event", "simulator engine: event (production) or reference (retained oracle; bit-identical, for A/B checks)")
+	strictSPM := flag.Bool("strict-spm", true, "exit non-zero when simulated live SPM bytes overflow a core's capacity; =false tolerates over-budget schedules")
 	flag.Parse()
 	parallel.SetWorkers(*jobs)
+	noSPMCheck = !*strictSPM
 
 	mo := metricsOpts{print: *metricsFlag, out: *metricsOut}
 	switch *engine {
@@ -99,6 +105,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if res.Fallback != core.FallbackNone {
+		fmt.Printf("SPM fallback: %s (%d downgrades to fit)\n", res.Fallback, len(res.Downgrades))
+	}
 
 	if *faults != "" {
 		plan, err := fault.ParseSpec(*faults, *faultSeed)
@@ -111,7 +120,7 @@ func main() {
 
 	needTrace := *traceOut != "" || *gantt > 0 || *mem
 	col := mo.collector()
-	out, err := runSim(res.Program, sim.Config{CollectTrace: needTrace, Hook: col.hook()})
+	out, err := runSim(res.Program, sim.Config{CollectTrace: needTrace, Hook: col.hook(), NoSPMCheck: noSPMCheck})
 	if err != nil {
 		fatal(err)
 	}
@@ -193,7 +202,7 @@ func runFaulted(g *graph.Graph, a *arch.Arch, opt core.Options, res *core.Result
 	}
 
 	col := mo.collector()
-	out, err := runSim(res.Program, sim.Config{Faults: plan, Hook: col.hook()})
+	out, err := runSim(res.Program, sim.Config{Faults: plan, Hook: col.hook(), NoSPMCheck: noSPMCheck})
 	if err == nil {
 		fmt.Printf("%s on %s, %s under faults [%s]: %.1f us end-to-end\n",
 			g.Name, a.Name, opt.Name(), plan, out.Stats.LatencyMicros(clock))
@@ -207,7 +216,7 @@ func runFaulted(g *graph.Graph, a *arch.Arch, opt core.Options, res *core.Result
 	}
 	emit(&cf.Partial)
 
-	rec, err := recovery.Recover(g, a, cf, recovery.Options{Opt: opt, Sim: sim.Config{Faults: plan}})
+	rec, err := recovery.Recover(g, a, cf, recovery.Options{Opt: opt, Sim: sim.Config{Faults: plan, NoSPMCheck: noSPMCheck}})
 	if err != nil {
 		fatal(err)
 	}
@@ -243,7 +252,7 @@ func simulateFile(path, traceOut string, gantt int, mo metricsOpts) {
 		fatal(err)
 	}
 	col := mo.collector()
-	out, err := runSim(p, sim.Config{CollectTrace: traceOut != "" || gantt > 0, Hook: col.hook()})
+	out, err := runSim(p, sim.Config{CollectTrace: traceOut != "" || gantt > 0, Hook: col.hook(), NoSPMCheck: noSPMCheck})
 	if err != nil {
 		fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -8,11 +9,33 @@ import (
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/schedule"
+	"repro/internal/sim"
 	"repro/internal/stratum"
 	"repro/internal/tensor"
+	"repro/internal/tiling"
 )
 
-// Compile lowers graph g for architecture a under the given options.
+// attempt is one rung of the fallback chain: an option set, a tiler
+// budget scale, and a stratum depth cap.
+type attempt struct {
+	level      FallbackLevel
+	opt        Options
+	scale      float64 // 0 or 1 = full SPM budget
+	maxStratum int     // 0 = unlimited
+}
+
+// Compile lowers graph g for architecture a under the given options,
+// guaranteeing the returned schedule fits every core's SPM: the tiler
+// enforces a liveness-exact per-layer budget, and a fault-free
+// simulation run then admission-checks the whole program against the
+// simulator's own live-byte tracking (which sees the cross-layer
+// concurrency the per-layer budget cannot).
+//
+// When either check fails, the driver walks a graceful-degradation
+// chain — shrink the tiler budget, cap stratum depth, disable
+// feature-map forwarding, force channel partitioning — recording each
+// downgrade in Result.Downgrades. Exhausting the chain returns a
+// typed *UnfitError.
 func Compile(g *graph.Graph, a *arch.Arch, opt Options) (*Result, error) {
 	t0 := time.Now()
 	if err := g.Validate(); err != nil {
@@ -22,6 +45,103 @@ func Compile(g *graph.Graph, a *arch.Arch, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 
+	var downgrades []Downgrade
+	var lastErr error
+	for i, at := range fallbackChain(opt) {
+		if i > 0 {
+			downgrades = append(downgrades, Downgrade{Level: at.level, Reason: lastErr.Error()})
+		}
+		res, err := compileOnce(g, a, at.opt, at.scale, at.maxStratum)
+		if err == nil {
+			mark := time.Now()
+			err = admit(res)
+			res.Timing.Admit = time.Since(mark)
+			if err == nil {
+				res.Fallback = at.level
+				res.Downgrades = downgrades
+				res.Timing.Total = time.Since(t0)
+				return res, nil
+			}
+		}
+		if !capacityFailure(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, &UnfitError{Graph: g.Name, Downgrades: downgrades, Last: lastErr}
+}
+
+// fallbackChain lists the attempts for one requested configuration,
+// most capable first. Later rungs keep the earlier restrictions, so
+// the chain degrades monotonically and always ends at a configuration
+// with no cross-layer SPM residency at all.
+func fallbackChain(opt Options) []attempt {
+	chain := []attempt{
+		{level: FallbackNone, opt: opt},
+		{level: FallbackShrinkTiles, opt: opt, scale: 0.85},
+		{level: FallbackShrinkTiles, opt: opt, scale: 0.7},
+		{level: FallbackShrinkTiles, opt: opt, scale: 0.55},
+		{level: FallbackShrinkTiles, opt: opt, scale: 0.45},
+	}
+	if opt.Stratum {
+		chain = append(chain,
+			attempt{level: FallbackShallowStrata, opt: opt, maxStratum: 2},
+			attempt{level: FallbackShallowStrata, opt: opt, maxStratum: 1},
+			attempt{level: FallbackShallowStrata, opt: opt, maxStratum: 1, scale: 0.7},
+			attempt{level: FallbackShallowStrata, opt: opt, maxStratum: 1, scale: 0.55},
+			attempt{level: FallbackShallowStrata, opt: opt, maxStratum: 1, scale: 0.45},
+		)
+	}
+	if opt.Forwarding {
+		o := opt
+		o.Forwarding = false
+		maxStratum := 0
+		if opt.Stratum {
+			maxStratum = 1
+		}
+		chain = append(chain,
+			attempt{level: FallbackNoForwarding, opt: o, maxStratum: maxStratum},
+			attempt{level: FallbackNoForwarding, opt: o, maxStratum: maxStratum, scale: 0.7},
+			attempt{level: FallbackNoForwarding, opt: o, maxStratum: maxStratum, scale: 0.55},
+			attempt{level: FallbackNoForwarding, opt: o, maxStratum: maxStratum, scale: 0.45},
+		)
+	}
+	if opt.Partitioning == partition.Adaptive {
+		o := opt
+		o.Partitioning = partition.ForceChannel
+		o.Forwarding = false
+		o.Stratum = false
+		chain = append(chain,
+			attempt{level: FallbackChannelPartition, opt: o},
+			attempt{level: FallbackChannelPartition, opt: o, scale: 0.7},
+			attempt{level: FallbackChannelPartition, opt: o, scale: 0.55},
+			attempt{level: FallbackChannelPartition, opt: o, scale: 0.45},
+		)
+	}
+	return chain
+}
+
+// capacityFailure reports whether err is a fit failure the fallback
+// chain can respond to, as opposed to a compiler bug or invalid input.
+func capacityFailure(err error) bool {
+	var cf *tiling.CannotFitError
+	if errors.As(err, &cf) {
+		return true
+	}
+	var of *sim.SPMOverflowError
+	return errors.As(err, &of)
+}
+
+// admit runs the compiled program fault-free through the event engine
+// with the SPM admission check on; the simulator's live-byte tracking
+// is the authority on whether the schedule actually fits.
+func admit(res *Result) error {
+	_, err := sim.Run(res.Program, sim.Config{})
+	return err
+}
+
+// compileOnce runs the four compile stages for one fallback attempt.
+func compileOnce(g *graph.Graph, a *arch.Arch, opt Options, scale float64, maxStratum int) (*Result, error) {
 	// Stage 1: partition every layer (heuristics h1-h5 or forced mode).
 	var tm Timing
 	mark := time.Now()
@@ -54,8 +174,9 @@ func Compile(g *graph.Graph, a *arch.Arch, opt Options) (*Result, error) {
 	// when disabled.
 	mark = time.Now()
 	builder := stratum.New(g, a, plans, order)
+	builder.MaxLayers = maxStratum
 	var strata []stratum.Stratum
-	if opt.Stratum {
+	if opt.Stratum && maxStratum != 1 {
 		for _, s := range builder.Build() {
 			strata = append(strata, builder.TrimToFit(&s)...)
 		}
@@ -74,12 +195,13 @@ func Compile(g *graph.Graph, a *arch.Arch, opt Options) (*Result, error) {
 	// Stage 4: tile and lower to per-core instruction streams.
 	mark = time.Now()
 	em := newEmitter(g, a, opt, plans, order, strata)
+	em.budgetScale = scale
 	prog, err := em.emit()
 	if err != nil {
 		return nil, err
 	}
 	tm.Emit = time.Since(mark)
-	tm.Total = time.Since(t0)
+	tm.Total = tm.Partition + tm.Schedule + tm.Stratum + tm.Emit
 	return &Result{
 		Program:       prog,
 		Plans:         plans,

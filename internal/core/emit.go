@@ -51,6 +51,10 @@ type emitter struct {
 
 	streams     [][]plan.Instr
 	nextBarrier int
+	// budgetScale shrinks every core's SPM budget handed to the tiler;
+	// the compile driver's fallback chain lowers it after an admission
+	// failure. Zero means full capacity.
+	budgetScale float64
 
 	// Analysis, by LayerID.
 	stratumOf   map[graph.LayerID]int
@@ -60,6 +64,10 @@ type emitter struct {
 	needStore   map[graph.LayerID]bool
 	needBarrier map[graph.LayerID]bool
 	expanded    map[graph.LayerID][]tensor.Region
+	// pendingRecv[id][core] is what core receives in the halo exchange
+	// completing id's forwarded input — computed when the producer is
+	// emitted, consumed when id itself is.
+	pendingRecv map[graph.LayerID][]int64
 
 	// Emission records, by LayerID.
 	computeRefs  map[graph.LayerID][][]tileRef // [core][tile]
@@ -83,6 +91,7 @@ func newEmitter(g *graph.Graph, a *arch.Arch, opt Options, plans []partition.Pla
 		needStore:    map[graph.LayerID]bool{},
 		needBarrier:  map[graph.LayerID]bool{},
 		expanded:     map[graph.LayerID][]tensor.Region{},
+		pendingRecv:  map[graph.LayerID][]int64{},
 		computeRefs:  map[graph.LayerID][][]tileRef{},
 		storeRefs:    map[graph.LayerID][][]tileRef{},
 		barrierRefs:  map[graph.LayerID][]plan.Ref{},
@@ -123,6 +132,7 @@ func (e *emitter) classifyEdges() {
 		}
 		e.cats[id] = cats
 	}
+	e.demoteOverfullForwards()
 	for _, id := range e.exec {
 		l := e.g.Layer(id)
 		users := e.g.Users(id)
@@ -143,6 +153,78 @@ func (e *emitter) classifyEdges() {
 		_ = l
 		e.needStore[id] = store
 		e.needBarrier[id] = barrier && e.a.NumCores() > 1
+	}
+}
+
+// demoteOverfullForwards drops forwarding on edges whose residency can
+// never fit: a layer that both receives a forwarded input and holds
+// its own output for a forwarded consumer keeps both full feature maps
+// in SPM at once, and when their sum exceeds a core's capacity no
+// amount of re-tiling helps (neither buffer shrinks with tile size).
+// Such an edge goes back through store-sync-load while the rest of the
+// boundary keeps its forwarding. The walk is in reverse execution
+// order so a demotion downstream (which releases the middle layer's
+// held output) is visible before the upstream edge is judged.
+func (e *emitter) demoteOverfullForwards() {
+	for i := len(e.exec) - 1; i >= 0; i-- {
+		id := e.exec[i]
+		l := e.g.Layer(id)
+		holdOut := false
+		for _, uid := range e.g.Users(id) {
+			for j, pid := range e.g.Layer(uid).Inputs {
+				if pid == id && (e.cats[uid][j] == catStratum || e.cats[uid][j] == catForward) {
+					holdOut = true
+				}
+			}
+		}
+		anyForward := false
+		var recv []int64
+		for j, pid := range l.Inputs {
+			if e.cats[id][j] != catForward {
+				continue
+			}
+			anyForward = true
+			// Halo-receive staging rides along with the forward and is
+			// resident for the whole layer too.
+			if _, rb, cons := e.haloPlanFor(pid); cons == id {
+				if recv == nil {
+					recv = rb
+				} else {
+					for c := range rb {
+						recv[c] += rb[c]
+					}
+				}
+			}
+		}
+		if !anyForward {
+			continue
+		}
+		demote := false
+		for core := range e.a.Cores {
+			var resident int64
+			for j2, pid2 := range l.Inputs {
+				if e.cats[id][j2] == catStratum || e.cats[id][j2] == catForward {
+					resident += e.expanded[pid2][core].Bytes(e.g.Layer(pid2).DType)
+				}
+			}
+			if recv != nil {
+				resident += recv[core]
+			}
+			if holdOut {
+				resident += e.expanded[id][core].Bytes(l.DType)
+			}
+			if resident > e.a.Cores[core].SPMBytes {
+				demote = true
+				break
+			}
+		}
+		if demote {
+			for j := range l.Inputs {
+				if e.cats[id][j] == catForward {
+					e.cats[id][j] = catGlobal
+				}
+			}
+		}
 	}
 }
 
@@ -254,11 +336,15 @@ func (e *emitter) subForRegion(l *graph.Layer, core int, r tensor.Region) partit
 //
 // sendRegs[k] lists, for producing core k, the pieces of k's output
 // that remote consumers need; recvBytes[c] totals what consumer core c
-// receives.
-func (e *emitter) haloPlanFor(id graph.LayerID) (sendRegs [][]tensor.Region, recvBytes []int64) {
+// receives; consumer is the layer whose halo receive this exchange
+// completes (-1 when id forwards to no one). The receives belong to the
+// consumer's own emission — emitLayer stashes them in pendingRecv
+// rather than attaching them to id.
+func (e *emitter) haloPlanFor(id graph.LayerID) (sendRegs [][]tensor.Region, recvBytes []int64, consumer graph.LayerID) {
 	n := e.a.NumCores()
 	sendRegs = make([][]tensor.Region, n)
 	recvBytes = make([]int64, n)
+	consumer = graph.LayerID(-1)
 
 	nextID := graph.LayerID(-1)
 	for i, x := range e.exec {
@@ -267,7 +353,7 @@ func (e *emitter) haloPlanFor(id graph.LayerID) (sendRegs [][]tensor.Region, rec
 		}
 	}
 	if nextID < 0 {
-		return sendRegs, recvBytes
+		return sendRegs, recvBytes, consumer
 	}
 	next := e.g.Layer(nextID)
 	jMatch := -1
@@ -277,7 +363,7 @@ func (e *emitter) haloPlanFor(id graph.LayerID) (sendRegs [][]tensor.Region, rec
 		}
 	}
 	if jMatch < 0 {
-		return sendRegs, recvBytes
+		return sendRegs, recvBytes, consumer
 	}
 	inShapes := e.g.InShapes(next)
 	prodPlan := &e.plans[id]
@@ -300,7 +386,7 @@ func (e *emitter) haloPlanFor(id graph.LayerID) (sendRegs [][]tensor.Region, rec
 			recvBytes[c] += ov.Bytes(dt)
 		}
 	}
-	return sendRegs, recvBytes
+	return sendRegs, recvBytes, nextID
 }
 
 // haloEdges derives the tiler's halo flags for core's own region from
@@ -334,7 +420,27 @@ func (e *emitter) emitLayer(id graph.LayerID) error {
 		fwd[j] = c == catStratum || c == catForward
 	}
 
-	sendRegs, recvBytes := e.haloPlanFor(id)
+	// sendRegs is what this layer's cores send onward; nextRecv sizes
+	// the halo receives of the *consumer* layer, so it is stashed for
+	// the consumer's own emission. This layer's receives were stashed
+	// when its producer was emitted.
+	sendRegs, nextRecv, consumer := e.haloPlanFor(id)
+	if consumer >= 0 {
+		e.pendingRecv[consumer] = nextRecv
+	}
+	myRecv := e.pendingRecv[id]
+
+	// Outputs held in SPM for a forwarded or in-stratum consumer never
+	// stream out through double-buffered stores: every tile's output is
+	// still resident when the last tile computes.
+	holdOut := false
+	for _, uid := range e.g.Users(id) {
+		for j, pid := range e.g.Layer(uid).Inputs {
+			if pid == id && (e.cats[uid][j] == catStratum || e.cats[uid][j] == catForward) {
+				holdOut = true
+			}
+		}
+	}
 
 	e.computeRefs[id] = make([][]tileRef, n)
 	e.storeRefs[id] = make([][]tileRef, n)
@@ -354,13 +460,48 @@ func (e *emitter) emitLayer(id graph.LayerID) error {
 		if len(sendRegs[core]) > 0 && dir.Spatial() {
 			loHalo, hiHalo, width = haloEdges(sub.Out, dir.Axis(), sendRegs[core])
 		}
+		recvHere := int64(0)
+		if myRecv != nil {
+			recvHere = myRecv[core]
+		}
+		// Residents the tiler does not plan but must budget around: the
+		// halo-receive staging buffer and each forwarding producer's
+		// held output, live for the sub-layer's whole execution.
+		extra := recvHere
+		for j, pid := range l.Inputs {
+			if cats[j] == catStratum || cats[j] == catForward {
+				extra += e.expanded[pid][core].Bytes(e.g.Layer(pid).DType)
+			}
+		}
+		// The shrink scale exists to leave headroom for cross-layer
+		// pipeline overlap (the next layer's bounded prefetch against
+		// this layer's draining tail). Held and forwarded buffers do not
+		// pipeline — their boundaries have no store/load traffic to
+		// overlap with — so they are charged at face value and only the
+		// streaming remainder is scaled.
+		budget := int64(0)
+		if e.budgetScale > 0 && e.budgetScale < 1 {
+			spm := e.a.Cores[core].SPMBytes
+			resident := extra
+			if holdOut {
+				resident += sub.Out.Bytes(l.DType)
+			}
+			if resident < spm {
+				budget = resident + int64(e.budgetScale*float64(spm-resident))
+			} else {
+				budget = int64(e.budgetScale * float64(spm))
+			}
+		}
 		tp, err := e.tiler.PlanSubLayer(l, inShapes, sub, core, tiling.Options{
-			Direction:      dir,
-			HaloLo:         loHalo,
-			HaloHi:         hiHalo,
-			HaloWidth:      width,
-			HaloFirst:      e.opt.HaloFirst,
-			ForwardedInput: fwd,
+			Direction:          dir,
+			HaloLo:             loHalo,
+			HaloHi:             hiHalo,
+			HaloWidth:          width,
+			HaloFirst:          e.opt.HaloFirst,
+			ForwardedInput:     fwd,
+			HoldOutput:         holdOut,
+			ExtraResidentBytes: extra,
+			Budget:             budget,
 		})
 		if err != nil {
 			return fmt.Errorf("core: layer %s: %w", l.Name, err)
@@ -368,7 +509,7 @@ func (e *emitter) emitLayer(id graph.LayerID) error {
 		if err := tiling.Validate(&tp, sub); err != nil {
 			return fmt.Errorf("core: layer %s: %v", l.Name, err)
 		}
-		e.emitSubLayer(l, core, sub, &tp, sendRegs[core], recvBytes[core])
+		e.emitSubLayer(l, core, sub, &tp, sendRegs[core], recvHere)
 	}
 
 	// A halo-exchange to the next layer still implies a rendezvous:
@@ -377,7 +518,7 @@ func (e *emitter) emitLayer(id graph.LayerID) error {
 	// with stratum execution). The same barrier also publishes stores
 	// for any catGlobal consumers. Only strata run barrier-free.
 	haloSync := false
-	for _, b := range recvBytes {
+	for _, b := range nextRecv {
 		if b > 0 {
 			haloSync = true
 		}
@@ -453,12 +594,29 @@ func (e *emitter) emitSubLayer(l *graph.Layer, core int, sub partition.SubLayer,
 	kernelRefByGroup := map[int]plan.Ref{}
 
 	// Identical input regions across tiles (input-stationary channel
-	// streaming) are loaded once and reused.
+	// streaming) are loaded once and reused. Under ReloadInputs the
+	// cache is scoped to the current kernel group — the tiler budgeted
+	// only one group's regions as concurrently resident.
 	type inKey struct {
 		j int
 		r tensor.Region
 	}
 	loadedInputs := map[inKey]plan.Ref{}
+
+	// chainGate bounds cross-layer kernel prefetch. A forwarded layer's
+	// early kernel loads would otherwise have no dependencies at all,
+	// and the in-order load engine would fetch every chain layer's
+	// kernels before the first layer finished computing; gating them on
+	// the grandparent chain layer's last compute keeps at most one
+	// layer's kernels prefetched ahead of the compute front.
+	var chainGate []plan.Ref
+	if p1 := e.chainInput(id); p1 >= 0 {
+		if p2 := e.chainInput(p1); p2 >= 0 {
+			if refs := e.computeRefs[p2][core]; len(refs) > 0 {
+				chainGate = []plan.Ref{refs[len(refs)-1].ref}
+			}
+		}
+	}
 
 	// Which tiles still owe halo data? Send as soon as the last
 	// contributor finishes computing.
@@ -491,8 +649,14 @@ func (e *emitter) emitSubLayer(l *graph.Layer, core int, sub partition.SubLayer,
 	var computes []plan.Ref
 	var stores []plan.Ref
 	haloContrib := make([]bool, len(tp.Tiles))
+	prevGroup := -1
 	for ti, t := range tp.Tiles {
 		var tileLoads []plan.Ref
+
+		if tp.ReloadInputs && ti > 0 && t.CGroup != prevGroup {
+			loadedInputs = map[inKey]plan.Ref{}
+		}
+		prevGroup = t.CGroup
 
 		// Double-buffer: this tile's loads reuse the input slot of
 		// tile ti-2; its compute reuses the output slot of tile ti-2.
@@ -537,8 +701,16 @@ func (e *emitter) emitSubLayer(l *graph.Layer, core int, sub partition.SubLayer,
 		}
 		if t.KernelBytes > 0 {
 			if _, ok := kernelRefByGroup[t.CGroup]; !ok {
+				// The kernel shares the tile's load slot: its prefetch is
+				// bounded by the same double-buffer lag as the input loads,
+				// so the tiler's [first-1, last] residency window holds.
+				kdeps := slotDep
+				if ti < slotLag {
+					kdeps = chainGate
+				}
 				kernelRefByGroup[t.CGroup] = e.push(core, plan.Instr{
 					Op: plan.LoadKernel, Layer: id, Tile: t.Index, Bytes: t.KernelBytes,
+					Deps: kdeps,
 					Note: fmt.Sprintf("ld-kn %s g%d", l.Name, t.CGroup),
 				})
 			}
@@ -614,6 +786,17 @@ func (e *emitter) emitSubLayer(l *graph.Layer, core int, sub partition.SubLayer,
 			haloContrib[ti] = true
 		}
 	}
+}
+
+// chainInput returns the layer whose output stays resident in SPM as
+// one of id's inputs (a stratum or forwarding producer), or -1.
+func (e *emitter) chainInput(id graph.LayerID) graph.LayerID {
+	for j, pid := range e.g.Layer(id).Inputs {
+		if c := e.cats[id][j]; c == catStratum || c == catForward {
+			return pid
+		}
+	}
+	return graph.LayerID(-1)
 }
 
 // overlappingRefs returns the refs whose recorded regions overlap r.

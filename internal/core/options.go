@@ -7,6 +7,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/graph"
@@ -121,6 +122,78 @@ func (o Options) Name() string {
 	}
 }
 
+// FallbackLevel identifies how far the compile driver's graceful-
+// degradation chain had to back off before producing a schedule that
+// fits SPM (tiler budget and simulator admission check both).
+type FallbackLevel int
+
+// Fallback chain levels, in the order the driver tries them. Each
+// level keeps the restrictions of the previous ones.
+const (
+	// FallbackNone: the requested configuration compiled and admitted
+	// as-is.
+	FallbackNone FallbackLevel = iota
+	// FallbackShrinkTiles: the tiler budget was scaled down (smaller
+	// tiles, more of them), leaving headroom for cross-layer prefetch
+	// overlap the per-layer budget cannot see.
+	FallbackShrinkTiles
+	// FallbackShallowStrata: stratum accumulation was capped so fewer
+	// forwarded feature maps stay resident at once.
+	FallbackShallowStrata
+	// FallbackNoForwarding: feature-map forwarding was disabled; layer
+	// boundaries go back through store-sync-load.
+	FallbackNoForwarding
+	// FallbackChannelPartition: the partitioner was forced to channel
+	// mode (weights split, full feature maps per core) with forwarding
+	// and strata off — the last resort for layers whose spatial slices
+	// cannot fit.
+	FallbackChannelPartition
+)
+
+// String returns a short human-readable label.
+func (f FallbackLevel) String() string {
+	switch f {
+	case FallbackNone:
+		return "none"
+	case FallbackShrinkTiles:
+		return "shrink-tiles"
+	case FallbackShallowStrata:
+		return "shallow-strata"
+	case FallbackNoForwarding:
+		return "no-forwarding"
+	case FallbackChannelPartition:
+		return "channel-partition"
+	default:
+		return "FallbackLevel(?)"
+	}
+}
+
+// Downgrade records one step of the fallback chain: the level the
+// driver moved to and the capacity failure that forced it.
+type Downgrade struct {
+	Level  FallbackLevel
+	Reason string
+}
+
+// UnfitError reports that the fallback chain was exhausted without
+// producing an admissible schedule.
+type UnfitError struct {
+	// Graph is the model name.
+	Graph string
+	// Downgrades lists every step the chain tried.
+	Downgrades []Downgrade
+	// Last is the failure of the final attempt.
+	Last error
+}
+
+func (e *UnfitError) Error() string {
+	return fmt.Sprintf("core: %s does not fit SPM at any fallback level (%d downgrades tried): %v",
+		e.Graph, len(e.Downgrades), e.Last)
+}
+
+// Unwrap exposes the final attempt's failure for errors.As/Is.
+func (e *UnfitError) Unwrap() error { return e.Last }
+
 // Timing records the wall-clock cost of each compile pass. Cached
 // compiles (CompileCached hits) return the timing of the original
 // compilation, not the lookup.
@@ -129,7 +202,8 @@ type Timing struct {
 	Schedule  time.Duration // stage 2: Algorithm 1 + verification
 	Stratum   time.Duration // stage 3: Algorithm 2 + trimming + validation
 	Emit      time.Duration // stage 4: tiling + lowering
-	Total     time.Duration // end to end, input validation included
+	Admit     time.Duration // stage 5: simulator SPM admission check
+	Total     time.Duration // end to end, fallback retries included
 }
 
 // Result is the outcome of compilation.
@@ -147,4 +221,10 @@ type Result struct {
 	RedundantMACs int64
 	// Timing is the wall-clock cost of each compile pass.
 	Timing Timing
+	// Fallback is how far the graceful-degradation chain backed off to
+	// fit SPM (FallbackNone when the requested configuration admitted
+	// as-is).
+	Fallback FallbackLevel
+	// Downgrades records each fallback step taken and why.
+	Downgrades []Downgrade
 }

@@ -23,7 +23,9 @@ func faultLatency(g *graph.Graph, a *arch.Arch, opt core.Options, p *fault.Plan)
 	if err != nil {
 		return 0, err
 	}
-	out, err := sim.Run(res.Program, sim.Config{Faults: p})
+	cfg := simConfig()
+	cfg.Faults = p
+	out, err := sim.Run(res.Program, cfg)
 	if err == nil {
 		return out.Stats.LatencyMicros(a.ClockMHz), nil
 	}
@@ -31,7 +33,7 @@ func faultLatency(g *graph.Graph, a *arch.Arch, opt core.Options, p *fault.Plan)
 	if !errors.As(err, &cf) {
 		return 0, err
 	}
-	rec, err := recovery.Recover(g, a, cf, recovery.Options{Opt: opt, Sim: sim.Config{Faults: p}})
+	rec, err := recovery.Recover(g, a, cf, recovery.Options{Opt: opt, Sim: cfg})
 	if err != nil {
 		return 0, err
 	}
@@ -87,17 +89,19 @@ func DeathSweep(g *graph.Graph) ([]DeathRow, error) {
 		if err != nil {
 			return DeathRow{}, err
 		}
-		clean, err := sim.Run(res.Program, sim.Config{})
+		clean, err := sim.Run(res.Program, simConfig())
 		if err != nil {
 			return DeathRow{}, err
 		}
 		plan := &fault.Plan{Deaths: []fault.Death{{Core: 1, AtCycle: 0.5 * clean.Stats.TotalCycles}}}
-		_, err = sim.Run(res.Program, sim.Config{Faults: plan})
+		fcfg := simConfig()
+		fcfg.Faults = plan
+		_, err = sim.Run(res.Program, fcfg)
 		var cf *sim.CoreFailure
 		if !errors.As(err, &cf) {
 			return DeathRow{}, fmt.Errorf("death sweep %s: expected core failure, got %v", opt.Name(), err)
 		}
-		rec, err := recovery.Recover(g, a, cf, recovery.Options{Opt: opt, Sim: sim.Config{Faults: plan}})
+		rec, err := recovery.Recover(g, a, cf, recovery.Options{Opt: opt, Sim: fcfg})
 		if err != nil {
 			return DeathRow{}, fmt.Errorf("death sweep %s: %w", opt.Name(), err)
 		}

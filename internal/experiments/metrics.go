@@ -37,7 +37,9 @@ func Utilization(opt core.Options) ([]UtilizationRow, error) {
 			return UtilizationRow{}, fmt.Errorf("utilization %s: %w", m.Name, err)
 		}
 		col := &metrics.Collector{}
-		out, err := sim.Run(res.Program, sim.Config{Hook: col})
+		cfg := simConfig()
+		cfg.Hook = col
+		out, err := sim.Run(res.Program, cfg)
 		if err != nil {
 			return UtilizationRow{}, fmt.Errorf("utilization %s: %w", m.Name, err)
 		}
@@ -71,8 +73,8 @@ func Utilization(opt core.Options) ([]UtilizationRow, error) {
 // contention.
 func PrintUtilization(w io.Writer, config string, rows []UtilizationRow) {
 	fmt.Fprintf(w, "Figure 10 (sim): per-model cycle attribution, %s, mean over cores\n", config)
-	fmt.Fprintf(w, "%-17s %8s %8s %8s %8s %8s %8s | %9s %9s %8s\n",
-		"Model", "compute", "halo", "load", "store", "stall", "idle", "SPM-peak", "bus-cont", "redund")
+	fmt.Fprintf(w, "%-17s %8s %8s %8s %8s %8s %8s | %9s %9s %8s %-14s\n",
+		"Model", "compute", "halo", "load", "store", "stall", "idle", "SPM-peak", "bus-cont", "redund", "fallback")
 	for _, r := range rows {
 		f := r.MeanFractions
 		var peakUtil float64
@@ -94,9 +96,13 @@ func PrintUtilization(w io.Writer, config string, rows []UtilizationRow) {
 		if executed > 0 {
 			redundPct = 100 * float64(redundant) / float64(executed)
 		}
-		fmt.Fprintf(w, "%-17s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% | %8.0f%% %8.1f%% %7.2f%%\n",
+		fallback := ""
+		if r.Report.Compile != nil {
+			fallback = r.Report.Compile.Fallback
+		}
+		fmt.Fprintf(w, "%-17s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% | %8.0f%% %8.1f%% %7.2f%% %-14s\n",
 			r.Model, 100*f.Compute, 100*f.Halo, 100*f.Load, 100*f.Store, 100*f.Stall, 100*f.Idle,
-			100*peakUtil, 100*contended, redundPct)
+			100*peakUtil, 100*contended, redundPct, fallback)
 	}
-	fmt.Fprintln(w, "compute+halo+load+store+stall+idle = 100% per core by construction; SPM-peak >100% flags a schedule over budget")
+	fmt.Fprintln(w, "compute+halo+load+store+stall+idle = 100% per core by construction; the admission check holds SPM-peak <= 100%; fallback is how far the compile driver backed off to fit")
 }

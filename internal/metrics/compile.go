@@ -23,13 +23,20 @@ type StratumReport struct {
 	RedundancyRatio float64
 }
 
-// CompileReport is the compile-pass wall-clock timing in milliseconds.
+// CompileReport is the compile-pass wall-clock timing in milliseconds,
+// plus the SPM fallback outcome of the compile driver.
 type CompileReport struct {
 	PartitionMillis float64
 	ScheduleMillis  float64
 	StratumMillis   float64
 	EmitMillis      float64
+	AdmitMillis     float64
 	TotalMillis     float64
+	// Fallback is how far the graceful-degradation chain backed off to
+	// fit SPM ("none" when the requested configuration admitted as-is).
+	Fallback string
+	// Downgrades counts the fallback steps taken before admission.
+	Downgrades int
 }
 
 // AttachCompile augments a run report with compile-side facts: the
@@ -43,7 +50,10 @@ func (r *Report) AttachCompile(res *core.Result) {
 		ScheduleMillis:  float64(tm.Schedule.Nanoseconds()) / 1e6,
 		StratumMillis:   float64(tm.Stratum.Nanoseconds()) / 1e6,
 		EmitMillis:      float64(tm.Emit.Nanoseconds()) / 1e6,
+		AdmitMillis:     float64(tm.Admit.Nanoseconds()) / 1e6,
 		TotalMillis:     float64(tm.Total.Nanoseconds()) / 1e6,
+		Fallback:        res.Fallback.String(),
+		Downgrades:      len(res.Downgrades),
 	}
 }
 

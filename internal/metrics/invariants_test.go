@@ -19,24 +19,14 @@ import (
 //   - per-core exclusive utilization fractions sum to 1.0 +/- 1e-9;
 //   - the raw engine sums reproduce sim.CoreStats exactly and the
 //     exclusive idle matches the engine's busy-interval accounting;
-//   - SPM high-water marks stay within arch capacity on every model
-//     whose schedule the tiler fits (and are truthfully flagged on the
-//     two segmentation nets whose double-buffer budget overflows, a
-//     pre-existing tiler gap this layer exists to surface — see
-//     ROADMAP);
+//   - SPM high-water marks stay within arch capacity on EVERY model:
+//     the compile driver's admission check and fallback chain guarantee
+//     an in-budget schedule (the former UNet/DeepLabV3+ exemptions are
+//     gone — those nets now re-tile until they fit);
 //   - the bus series never grants above the ceiling or above demand;
 //
 // on all Table 2 models under all four fault plans of the equivalence
 // matrix.
-
-// overCapacity lists the models whose compiled schedules are known to
-// exceed SPM capacity under the profiler's cross-layer liveness (the
-// per-layer tiling budget is optimistic for the high-resolution
-// segmentation nets). Everything else must fit, under every fault plan.
-var overCapacity = map[string]bool{
-	"UNet":       true,
-	"DeepLabV3+": true,
-}
 
 var (
 	invOnce     sync.Once
@@ -127,9 +117,10 @@ func TestInvariantsTable2(t *testing.T) {
 					t.Fatal(err)
 				}
 
-				// SPM capacity is a hard bound wherever the tiler fits.
+				// SPM capacity is a hard bound on every model: the
+				// admission check and fallback chain guarantee it.
 				for _, sp := range rep.SPM {
-					if !overCapacity[cm.name] && !sp.Fits {
+					if !sp.Fits {
 						t.Errorf("core %d SPM high-water %d exceeds capacity %d",
 							sp.Core, sp.PeakBytes, sp.CapacityBytes)
 					}

@@ -143,6 +143,14 @@ type machine struct {
 	direct []echannel
 	dirty  bool
 
+	// SPM admission check (spmcheck.go): bytes each live buffer owner
+	// still holds (0 = none or freed), outstanding reader counts, and
+	// per-core live totals. spmOn mirrors !Config.NoSPMCheck.
+	spmOn      bool
+	spmBuf     []int64
+	spmReaders []int32
+	spmLive    []int64
+
 	heap eventHeap
 
 	// Engines that may have an issuable queue head, deduplicated by
@@ -306,6 +314,28 @@ func (m *machine) run(a *arch.Arch, placements []Placement, cfg Config) (*Result
 	}
 	copy(m.qPos, m.qOff[:ne]) // rewind issue cursors
 
+	// SPM admission state: owner bytes per node, and reader counts per
+	// owner from the dependent CSR filtered to genuine data reads.
+	m.spmOn = !cfg.NoSPMCheck
+	if m.spmOn {
+		m.spmBuf = resizeInt64(m.spmBuf, total)
+		m.spmReaders = resizeInt32(m.spmReaders, total)
+		m.spmLive = resizeInt64(m.spmLive, ncores)
+		for n := 0; n < total; n++ {
+			m.spmBuf[n] = spmOwnedBytes(&m.nodes[n].in)
+		}
+		for d := 0; d < total; d++ {
+			if m.spmBuf[d] <= 0 {
+				continue
+			}
+			for _, n := range m.depEdges[m.depOff[d]:m.depOff[d+1]] {
+				if spmReads(m.nodes[d].in.Op, m.nodes[n].in.Op) {
+					m.spmReaders[d]++
+				}
+			}
+		}
+	}
+
 	// Barriers, flattened.
 	m.barOff = m.barOff[:0]
 	m.bars = m.bars[:0]
@@ -411,6 +441,12 @@ func (m *machine) run(a *arch.Arch, placements []Placement, cfg Config) (*Result
 		}
 
 		m.issueReady()
+
+		if m.spmOn {
+			if err := m.checkSPM(); err != nil {
+				return nil, err
+			}
+		}
 
 		if m.dirty {
 			m.rebuildChannels()
@@ -541,6 +577,11 @@ func (m *machine) issueReady() {
 		n.started = true
 		n.start = m.now
 		c := int(ei) / numEngines
+		if m.spmOn {
+			if b := m.spmBuf[nid]; b > 0 {
+				m.spmLive[c] += b
+			}
+		}
 		pi := int(m.progOf[nid])
 		switch n.in.Op.Engine() {
 		case plan.EngineCompute:
@@ -717,6 +758,26 @@ func (m *machine) finishNode(nid int, t float64) {
 			Op: n.in.Op, Layer: n.in.Layer, Tile: n.in.Tile,
 			Start: n.start, End: t, Bytes: n.in.Bytes, MACs: n.in.MACs, Retries: n.attempt,
 		})
+	}
+	if m.spmOn {
+		// The node's own buffer dies now if no reader is outstanding;
+		// its deps' buffers die if this was their last reader and the
+		// owner already finished.
+		if m.spmBuf[nid] > 0 && m.spmReaders[nid] == 0 {
+			m.spmLive[c] -= m.spmBuf[nid]
+			m.spmBuf[nid] = 0
+		}
+		pi := m.progOf[nid]
+		for _, d := range n.in.Deps {
+			dn := int(m.baseFlat[m.streamStart[pi]+int32(d.Core)]) + d.Index
+			if m.spmBuf[dn] > 0 && spmReads(m.nodes[dn].in.Op, n.in.Op) {
+				m.spmReaders[dn]--
+				if m.spmReaders[dn] == 0 && m.nodes[dn].done {
+					m.spmLive[m.coreOf[dn]] -= m.spmBuf[dn]
+					m.spmBuf[dn] = 0
+				}
+			}
+		}
 	}
 	ei := c*numEngines + int(eng)
 	if m.busyN[ei] == int32(nid) {

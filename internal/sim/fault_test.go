@@ -1,6 +1,8 @@
-package sim
+package sim_test
 
 import (
+	. "repro/internal/sim"
+
 	"errors"
 	"reflect"
 	"sync"

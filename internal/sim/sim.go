@@ -18,6 +18,11 @@
 // rescanning implementation). Run and RunConcurrent use the event
 // engine; RunReference exists for equivalence tests and A/B
 // benchmarks, which hold the two bit-identical.
+//
+// The golden files pinning the engines (testdata/golden_cycles.json
+// here, chrome_tinycnn.json under internal/trace) regenerate with:
+//
+//go:generate go run ../../cmd/npubench -regen-golden
 package sim
 
 import (
@@ -141,6 +146,11 @@ type Config struct {
 	// the event engine feeds hooks; the reference engine ignores this
 	// field.
 	Hook Hook
+	// NoSPMCheck disables the SPM admission check (spmcheck.go). By
+	// default both engines track live SPM bytes per core and fail the
+	// run with a *SPMOverflowError when a core's footprint exceeds its
+	// capacity; set this to simulate a knowingly over-budget schedule.
+	NoSPMCheck bool
 }
 
 const eps = 1e-6

@@ -1,6 +1,8 @@
-package sim
+package sim_test
 
 import (
+	. "repro/internal/sim"
+
 	"testing"
 
 	"repro/internal/arch"
@@ -267,15 +269,5 @@ func TestEmptyProgram(t *testing.T) {
 	}
 	if out.Stats.TotalCycles != 0 {
 		t.Errorf("empty program latency %.0f", out.Stats.TotalCycles)
-	}
-}
-
-func TestUnionLength(t *testing.T) {
-	iv := [][2]float64{{0, 10}, {5, 15}, {20, 25}, {24, 26}}
-	if got := unionLength(iv); got != 21 {
-		t.Errorf("unionLength = %g, want 21", got)
-	}
-	if unionLength(nil) != 0 {
-		t.Error("empty union not zero")
 	}
 }

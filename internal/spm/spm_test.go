@@ -1,6 +1,8 @@
-package spm
+package spm_test
 
 import (
+	. "repro/internal/spm"
+
 	"strings"
 	"testing"
 

@@ -51,6 +51,11 @@ type Builder struct {
 	// Order is the execution schedule (Algorithm 1's output),
 	// including graph inputs, which are skipped.
 	Order []graph.LayerID
+	// MaxLayers caps how many layers one stratum may accumulate
+	// (0 = unlimited). The compile driver's fallback chain lowers it
+	// when deep strata overrun SPM: shallower strata hold fewer
+	// forwarded feature maps resident at once.
+	MaxLayers int
 }
 
 // New returns a Builder.
@@ -90,12 +95,14 @@ func (b *Builder) Build() []Stratum {
 
 	for i := len(exec) - 2; i >= 0; i-- {
 		curr := exec[i]
-		if ok, expanded, redundant := b.tryAccumulate(curr, prev, &cur); ok {
-			cur.Layers = append([]graph.LayerID{curr}, cur.Layers...)
-			cur.Expanded[curr] = expanded
-			cur.RedundantMACs += redundant
-			prev = curr
-			continue
+		if b.MaxLayers <= 0 || len(cur.Layers) < b.MaxLayers {
+			if ok, expanded, redundant := b.tryAccumulate(curr, prev, &cur); ok {
+				cur.Layers = append([]graph.LayerID{curr}, cur.Layers...)
+				cur.Expanded[curr] = expanded
+				cur.RedundantMACs += redundant
+				prev = curr
+				continue
+			}
 		}
 		// Stop accumulating: emit the current stratum and restart with
 		// curr as the new base.

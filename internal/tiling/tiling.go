@@ -64,6 +64,13 @@ type Plan struct {
 	// HaloFirst records whether the halo-first policy reordered the
 	// tiles.
 	HaloFirst bool
+	// ReloadInputs means input regions are re-loaded in every kernel
+	// group instead of staying resident across groups. The tiler only
+	// sets it when input-stationary reuse cannot fit the budget — the
+	// resident set shrinks to the current group's working set at the
+	// cost of re-fetching inputs once per group. The emitter must scope
+	// its input-reuse cache per group to match.
+	ReloadInputs bool
 }
 
 // NumTiles returns the number of tiles.
@@ -103,9 +110,42 @@ type Options struct {
 	// HaloFirst enables the halo-first execution order.
 	HaloFirst bool
 	// ForwardedInput marks layer inputs resident in SPM via
-	// feature-map forwarding; their bytes count once (resident), not
-	// per double-buffered tile (index parallel to layer inputs).
+	// feature-map forwarding; the emitter never loads them, so they
+	// contribute nothing to the plan's own need — their bytes arrive
+	// via ExtraResidentBytes (index parallel to layer inputs).
 	ForwardedInput []bool
+	// HoldOutput marks a sub-layer whose outputs stay resident for a
+	// forwarded or in-stratum consumer instead of streaming out through
+	// double-buffered stores: every tile's output is concurrently live
+	// by the last tile.
+	HoldOutput bool
+	// ExtraResidentBytes is SPM claimed for the sub-layer's whole
+	// execution by buffers the tiler does not plan: the forwarding
+	// producer's held output, and halo-receive staging.
+	ExtraResidentBytes int64
+	// Budget overrides the core's SPM capacity when positive — the
+	// compile driver shrinks it to re-tile after an admission failure.
+	// A shrunken budget is a soft target: a sub-layer whose minimum
+	// liveness-exact need exceeds it still plans, at its
+	// minimum-footprint grid, as long as that minimum fits the core's
+	// physical capacity. CannotFitError is reserved for sub-layers that
+	// cannot fit the hardware at any tile count.
+	Budget int64
+}
+
+// CannotFitError is returned when no tile grid fits the SPM budget: the
+// sub-layer's minimum liveness-exact need exceeds it even at maximal
+// tiling. The compile driver keys its fallback chain on this type.
+type CannotFitError struct {
+	Layer   string
+	Core    int
+	Budget  int64
+	MinNeed int64 // smallest need over every grid searched
+}
+
+func (e *CannotFitError) Error() string {
+	return fmt.Sprintf("tiling: layer %s does not fit SPM budget of core %d (min need %d B > budget %d B) at any tile count",
+		e.Layer, e.Core, e.MinNeed, e.Budget)
 }
 
 // PlanSubLayer tiles sub-layer sub of layer l for the given core.
@@ -116,7 +156,11 @@ func (t *Tiler) PlanSubLayer(l *graph.Layer, inShapes []tensor.Shape, sub partit
 		return Plan{Axis: tensor.AxisH}, nil
 	}
 	primary, secondary := t.chooseAxes(l, sub, opt)
-	spm := t.Arch.Cores[core].SPMBytes
+	hard := t.Arch.Cores[core].SPMBytes
+	budget := hard
+	if opt.Budget > 0 {
+		budget = opt.Budget
+	}
 
 	extA := sub.Out.Ext.Dim(primary)
 	alignA := t.alignFor(core, primary)
@@ -130,44 +174,85 @@ func (t *Tiler) PlanSubLayer(l *graph.Layer, inShapes []tensor.Shape, sub partit
 		loA = t.minTiles()
 	}
 
-	var chosen []Tile
-	var chosenB int
-search:
-	for kb := 1; kb <= maxB; kb++ {
-		for ka := loA; ka <= maxA; ka++ {
-			tiles := t.cutGrid(l, inShapes, sub, primary, ka, alignA, secondary, kb, alignB)
-			if t.spmNeed(tiles, l.DType, opt) <= spm {
-				chosen, chosenB = tiles, kb
-				break search
-			}
-			// Past the soft cap, only keep growing the primary count
-			// if it still helps; otherwise move to the next secondary
-			// cut sooner. (The loop bound maxA already terminates.)
+	wantReorder := opt.HaloFirst && opt.Direction.Spatial() && primary == opt.Direction.Axis()
+	// candidate marks halos and applies the execution order a grid will
+	// actually run under before measuring its liveness: the halo-first
+	// permutation changes which buffers are concurrently live, so the
+	// need must be computed on the executed order, not the grid order.
+	candidate := func(ka, kb int, reorder bool) []Tile {
+		tiles := t.cutGrid(l, inShapes, sub, primary, ka, alignA, secondary, kb, alignB)
+		t.markHalo(tiles, sub, primary, opt)
+		if reorder {
+			tiles = haloFirstOrder(tiles)
 		}
-		if kb == 1 && loA > 1 {
-			// Also consider fewer-than-pipelining tile counts before
-			// engaging the secondary axis.
-			for ka := 1; ka < loA; ka++ {
-				tiles := t.cutGrid(l, inShapes, sub, primary, ka, alignA, secondary, kb, alignB)
-				if t.spmNeed(tiles, l.DType, opt) <= spm {
-					chosen, chosenB = tiles, kb
-					break search
+		return tiles
+	}
+
+	// Passes in preference order: input-stationary reuse first (each
+	// distinct region loaded once — minimal traffic), then per-group
+	// reload (minimal residency) only if no reusing grid fits. The
+	// halo-first permutation splinters reuse windows, so under pressure
+	// a reusing grid in plain order beats a reloading grid in halo-first
+	// order: the ordering is a latency overlap, the reload a real DMA
+	// cost.
+	type mode struct{ reload, reorder bool }
+	passes := []mode{{false, false}, {true, false}}
+	if wantReorder {
+		passes = []mode{{false, true}, {false, false}, {true, true}, {true, false}}
+	}
+	minNeed := int64(-1)
+	var chosen, best []Tile
+	var chosenB, bestB int
+	var chosenMode, bestMode mode
+	for _, pm := range passes {
+		pm := pm
+		search := func(ka, kb int) bool {
+			tiles := candidate(ka, kb, pm.reorder)
+			need := t.spmNeed(tiles, l.DType, opt, pm.reload)
+			if minNeed < 0 || need < minNeed {
+				minNeed = need
+				best, bestB, bestMode = tiles, kb, pm
+			}
+			if need <= budget {
+				chosen, chosenB, chosenMode = tiles, kb, pm
+				return true
+			}
+			return false
+		}
+	pass:
+		for kb := 1; kb <= maxB; kb++ {
+			for ka := loA; ka <= maxA; ka++ {
+				if search(ka, kb) {
+					break pass
+				}
+			}
+			if kb == 1 && loA > 1 {
+				// Also consider fewer-than-pipelining tile counts before
+				// engaging the secondary axis.
+				for ka := 1; ka < loA; ka++ {
+					if search(ka, kb) {
+						break pass
+					}
 				}
 			}
 		}
+		if chosen != nil {
+			break
+		}
+	}
+	if chosen == nil && budget < hard && minNeed >= 0 && minNeed <= hard {
+		// Soft-budget fallback: the shrunken budget is unreachable for
+		// this sub-layer, but its minimum-footprint grid fits the
+		// hardware — plan that and let the simulator's admission check
+		// arbitrate.
+		chosen, chosenB, chosenMode = best, bestB, bestMode
 	}
 	if chosen == nil {
-		return Plan{}, fmt.Errorf(
-			"tiling: layer %s sub-layer %v does not fit SPM of core %d (%d B) at any tile count",
-			l.Name, sub.Out, core, spm)
+		return Plan{}, &CannotFitError{Layer: l.Name, Core: core, Budget: budget, MinNeed: minNeed}
 	}
 
-	t.markHalo(chosen, sub, primary, opt)
-	plan := Plan{Axis: primary, SecondaryAxis: secondary, SecondaryCuts: chosenB, Tiles: chosen}
-	if opt.HaloFirst && opt.Direction.Spatial() && primary == opt.Direction.Axis() {
-		plan.Tiles = haloFirstOrder(plan.Tiles)
-		plan.HaloFirst = true
-	}
+	plan := Plan{Axis: primary, SecondaryAxis: secondary, SecondaryCuts: chosenB,
+		Tiles: chosen, HaloFirst: chosenMode.reorder, ReloadInputs: chosenMode.reload}
 	return plan, nil
 }
 
@@ -280,72 +365,137 @@ func (t *Tiler) cutGrid(l *graph.Layer, inShapes []tensor.Shape, sub partition.S
 	return tiles
 }
 
-// spmNeed returns the double-buffered SPM requirement of a tile plan.
-// Inputs whose region is identical across tiles (or forwarded) are
-// resident once; streamed inputs and outputs are double-buffered;
-// kernels are resident per group, double-buffered when streamed.
-func (t *Tiler) spmNeed(tiles []Tile, dt tensor.DType, opt Options) int64 {
-	if len(tiles) == 0 {
+// spmNeed returns the liveness-exact SPM requirement of a tile plan:
+// the peak set of concurrently resident buffers over the pipeline, not
+// a sum of independent per-buffer worst cases.
+//
+// The sweep models the emitter's double-buffered pipeline at tile
+// granularity. Position k is the interval during which tile k (in
+// execution order) computes. Each buffer the emitter will allocate gets
+// a live window in position terms, matching spm.ProfileTimeline's rules
+// for the instructions the emitter emits:
+//
+//   - an input region first read by tile f and last read by tile l is
+//     loaded into the slot freed by compute f-2, so it is resident from
+//     position f-1 through l (identical regions across tiles load once
+//     — the emitter's input-stationary reuse);
+//   - a kernel slice group spanning tiles f..l is slot-gated the same
+//     way (the emitter bounds kernel prefetch with the same dependency)
+//     and resident from position f-1 through l;
+//   - tile k's output is written at position k; a streamed output is
+//     stored while tile k+1 computes and its slot is reused by tile
+//     k+2, so it spans [k, k+1] — but a held output (HoldOutput) has no
+//     store and stays resident for the forwarded consumer, so every
+//     output written so far is live through the last position;
+//   - forwarded inputs are never loaded (nothing to plan); the
+//     producer's held output and any halo-receive staging occupy SPM
+//     for the whole sub-layer and arrive as ExtraResidentBytes.
+//
+// With reload set, input reuse is scoped per kernel group (the
+// emitter's ReloadInputs contract): a region re-read in a later group
+// is a fresh buffer, so its windows split instead of spanning the
+// groups in between.
+//
+// The returned need is ExtraResidentBytes plus the maximum position
+// occupancy. Cross-layer pipeline overlap beyond these terms (the next
+// layer's bounded prefetch against this layer's tail) is not modeled
+// here; the simulator's admission check is the authority and the
+// compile driver re-tiles with a shrunken Budget if it fires.
+func (t *Tiler) spmNeed(tiles []Tile, dt tensor.DType, opt Options, reload bool) int64 {
+	n := len(tiles)
+	if n == 0 {
 		return 0
 	}
+	occ := make([]int64, n+1) // difference array over positions 0..n-1
+
+	add := func(from, to int, bytes int64) {
+		if bytes <= 0 {
+			return
+		}
+		if from < 0 {
+			from = 0
+		}
+		if to > n-1 {
+			to = n - 1
+		}
+		occ[from] += bytes
+		occ[to+1] -= bytes
+	}
+
+	// Input regions, deduplicated the way the emitter reuses them. The
+	// group field scopes reuse per kernel group under reload; it stays
+	// constant otherwise so identical regions share one window.
+	type inKey struct {
+		j, group int
+		r        tensor.Region
+	}
+	type window struct{ first, last int }
+	regions := map[inKey]window{}
 	nIn := len(tiles[0].In)
-	var need int64
-
 	for j := 0; j < nIn; j++ {
-		shared := true
-		var maxIn, totalShared int64
-		first := tiles[0].In[j]
-		for _, tile := range tiles {
-			b := tile.In[j].Bytes(dt)
-			if b > maxIn {
-				maxIn = b
-			}
-			if tile.In[j] != first {
-				shared = false
-			}
+		if j < len(opt.ForwardedInput) && opt.ForwardedInput[j] {
+			continue // resident via forwarding; in ExtraResidentBytes
 		}
-		totalShared = first.Bytes(dt)
-		switch {
-		case j < len(opt.ForwardedInput) && opt.ForwardedInput[j]:
-			// Forwarded: resident from the producer; count the full
-			// region once.
-			var u tensor.Region
-			for i, tile := range tiles {
-				if i == 0 {
-					u = tile.In[j]
-				} else {
-					u = bbox(u, tile.In[j])
-				}
+		for k, tile := range tiles {
+			key := inKey{j: j, r: tile.In[j]}
+			if reload {
+				key.group = tile.CGroup
 			}
-			need += u.Bytes(dt)
-		case shared:
-			need += totalShared // input-stationary
-		default:
-			need += 2 * maxIn
+			w, ok := regions[key]
+			if !ok {
+				w = window{first: k, last: k}
+			} else {
+				w.last = k
+			}
+			regions[key] = w
+		}
+	}
+	for key, w := range regions {
+		add(w.first-1, w.last, key.r.Bytes(dt))
+	}
+
+	// Kernel slices, one buffer per contiguous group occurrence. After
+	// a halo-first reorder a group can run in several disjoint spans;
+	// the kernel is loaded once at its first tile and stays live until
+	// its last, so the window covers the whole spread.
+	kernels := map[int]window{}
+	kernelBytes := map[int]int64{}
+	for k, tile := range tiles {
+		if tile.KernelBytes <= 0 {
+			continue
+		}
+		w, ok := kernels[tile.CGroup]
+		if !ok {
+			w = window{first: k, last: k}
+		} else {
+			w.last = k
+		}
+		kernels[tile.CGroup] = w
+		if tile.KernelBytes > kernelBytes[tile.CGroup] {
+			kernelBytes[tile.CGroup] = tile.KernelBytes
+		}
+	}
+	for g, w := range kernels {
+		add(w.first-1, w.last, kernelBytes[g])
+	}
+
+	// Outputs.
+	for k, tile := range tiles {
+		if opt.HoldOutput {
+			add(k, n-1, tile.Out.Bytes(dt))
+		} else {
+			add(k, k+1, tile.Out.Bytes(dt))
 		}
 	}
 
-	var maxOut int64
-	for _, tile := range tiles {
-		if b := tile.Out.Bytes(dt); b > maxOut {
-			maxOut = b
+	var cur, peak int64
+	for k := 0; k < n; k++ {
+		cur += occ[k]
+		if cur > peak {
+			peak = cur
 		}
 	}
-	need += 2 * maxOut
-
-	groups := tiles[len(tiles)-1].CGroup + 1
-	var maxKernel int64
-	for _, tile := range tiles {
-		if tile.KernelBytes > maxKernel {
-			maxKernel = tile.KernelBytes
-		}
-	}
-	if groups > 1 {
-		need += 2 * maxKernel
-	} else {
-		need += maxKernel
-	}
-	return need
+	return opt.ExtraResidentBytes + peak
 }
 
 func bbox(a, b tensor.Region) tensor.Region {
