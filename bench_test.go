@@ -15,6 +15,8 @@
 package repro
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"testing"
@@ -281,6 +283,48 @@ func BenchmarkSimulate(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSimulateCtx measures what arming the cooperative
+// cancellation checkpoints costs the event engine: "nil" is the bare
+// fast path (one pointer compare per step), "background" polls a live
+// context every 64 steps (the serving layer's configuration; designed
+// to stay within 1% of "nil"), and "precanceled" measures how fast an
+// already-dead request aborts.
+func BenchmarkSimulateCtx(b *testing.B) {
+	a := arch.Exynos2100Like()
+	g := models.ByNameMust("MobileNetV2")
+	res, err := core.Compile(g, a, core.Stratum())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("nil", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(res.Program, sim.Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("background", func(b *testing.B) {
+		b.ReportAllocs()
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(res.Program, sim.Config{Ctx: ctx}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("precanceled", func(b *testing.B) {
+		b.ReportAllocs()
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(res.Program, sim.Config{Ctx: ctx}); !errors.Is(err, sim.ErrCanceled) {
+				b.Fatalf("want ErrCanceled, got %v", err)
+			}
+		}
+	})
 }
 
 // BenchmarkSimulateReference measures the retained reference engine on

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,13 +26,20 @@ type engineSample struct {
 	LatencyUS   float64 `json:"latency_us"`
 }
 
-// benchRow is the A/B comparison for one benchmark model.
+// benchRow is the A/B comparison for one benchmark model. EventCtx
+// re-measures the event engine with a live context.Context installed
+// (cooperative cancellation checkpoints armed), and CtxOverhead is its
+// fractional slowdown over the bare event engine — the serving layer's
+// deadline support is designed to cost <=1% here, and the JSON keeps
+// the receipts.
 type benchRow struct {
-	Model     string       `json:"model"`
-	Instrs    int          `json:"instrs"`
-	Reference engineSample `json:"reference"`
-	Event     engineSample `json:"event"`
-	Speedup   float64      `json:"speedup"`
+	Model       string       `json:"model"`
+	Instrs      int          `json:"instrs"`
+	Reference   engineSample `json:"reference"`
+	Event       engineSample `json:"event"`
+	EventCtx    engineSample `json:"event_ctx"`
+	Speedup     float64      `json:"speedup"`
+	CtxOverhead float64      `json:"ctx_overhead"`
 }
 
 // benchReport is the BENCH_sim.json schema.
@@ -53,13 +61,13 @@ func runSimBench(w io.Writer, jsonPath string, benchTime time.Duration) error {
 	opt := core.Stratum()
 	report := benchReport{BenchTime: benchTime.String(), Arch: a.Name, Config: opt.Name()}
 
-	measure := func(p *plan.Program, run func(*plan.Program, sim.Config) (*sim.Result, error)) (engineSample, error) {
+	measure := func(p *plan.Program, cfg sim.Config, run func(*plan.Program, sim.Config) (*sim.Result, error)) (engineSample, error) {
 		var simErr error
 		var latency float64
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				out, err := run(p, sim.Config{})
+				out, err := run(p, cfg)
 				if err != nil {
 					simErr = err
 					b.FailNow()
@@ -83,31 +91,37 @@ func runSimBench(w io.Writer, jsonPath string, benchTime time.Duration) error {
 		return err
 	}
 
-	fmt.Fprintf(w, "%-18s %14s %14s %8s %12s %12s\n",
-		"model", "reference", "event", "speedup", "ref allocs", "event allocs")
+	fmt.Fprintf(w, "%-18s %14s %14s %14s %8s %9s\n",
+		"model", "reference", "event", "event+ctx", "speedup", "ctx ovhd")
 	for _, m := range models.All() {
 		res, err := core.Compile(m.Build(), a, opt)
 		if err != nil {
 			return fmt.Errorf("compile %s: %v", m.Name, err)
 		}
-		ref, err := measure(res.Program, sim.RunReference)
+		ref, err := measure(res.Program, sim.Config{}, sim.RunReference)
 		if err != nil {
 			return fmt.Errorf("%s reference: %v", m.Name, err)
 		}
-		ev, err := measure(res.Program, sim.Run)
+		ev, err := measure(res.Program, sim.Config{}, sim.Run)
 		if err != nil {
 			return fmt.Errorf("%s event: %v", m.Name, err)
 		}
+		evCtx, err := measure(res.Program, sim.Config{Ctx: context.Background()}, sim.Run)
+		if err != nil {
+			return fmt.Errorf("%s event+ctx: %v", m.Name, err)
+		}
 		row := benchRow{
-			Model:     m.Name,
-			Instrs:    res.Program.NumInstrs(),
-			Reference: ref,
-			Event:     ev,
-			Speedup:   float64(ref.NsPerOp) / float64(ev.NsPerOp),
+			Model:       m.Name,
+			Instrs:      res.Program.NumInstrs(),
+			Reference:   ref,
+			Event:       ev,
+			EventCtx:    evCtx,
+			Speedup:     float64(ref.NsPerOp) / float64(ev.NsPerOp),
+			CtxOverhead: float64(evCtx.NsPerOp)/float64(ev.NsPerOp) - 1,
 		}
 		report.Rows = append(report.Rows, row)
-		fmt.Fprintf(w, "%-18s %12dns %12dns %7.2fx %12d %12d\n",
-			row.Model, ref.NsPerOp, ev.NsPerOp, row.Speedup, ref.AllocsPerOp, ev.AllocsPerOp)
+		fmt.Fprintf(w, "%-18s %12dns %12dns %12dns %7.2fx %8.2f%%\n",
+			row.Model, ref.NsPerOp, ev.NsPerOp, evCtx.NsPerOp, row.Speedup, 100*row.CtxOverhead)
 	}
 
 	data, err := json.MarshalIndent(&report, "", "  ")

@@ -19,10 +19,20 @@ import (
 	"time"
 
 	"repro/internal/arch"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/parallel"
 )
+
+// fatal reports err and exits with its typed exit code (see the
+// cliutil exit-code table in -help): unfit schedules, SPM overflows,
+// core failures, and cancellations each get a stable number scripts
+// can branch on.
+func fatal(prefix string, err error) {
+	fmt.Fprintf(os.Stderr, "npubench: %s%v\n", prefix, err)
+	os.Exit(cliutil.ExitCode(err))
+}
 
 func main() {
 	which := flag.String("experiment", "all", "fig11, fig12, table1, table2, table4, table5, ablation, concurrent, faults, metrics, spm, or all")
@@ -34,6 +44,11 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	strictSPM := flag.Bool("strict-spm", true, "fail experiments on SPM overflow in the simulator; =false tolerates over-budget schedules")
 	regenGolden := flag.Bool("regen-golden", false, "regenerate the simulator golden files under internal/{sim,trace}/testdata and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "Usage of %s:\n", os.Args[0])
+		flag.PrintDefaults()
+		fmt.Fprint(flag.CommandLine.Output(), "\n"+cliutil.ExitCodeDoc)
+	}
 	flag.Parse()
 	parallel.SetWorkers(*jobs)
 	experiments.StrictSPM = *strictSPM
@@ -43,8 +58,7 @@ func main() {
 
 	if *regenGolden {
 		if err := regenGoldens(); err != nil {
-			fmt.Fprintf(os.Stderr, "npubench: %v\n", err)
-			os.Exit(1)
+			fatal("", err)
 		}
 		return
 	}
@@ -52,12 +66,10 @@ func main() {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "npubench: %v\n", err)
-			os.Exit(1)
+			fatal("", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "npubench: %v\n", err)
-			os.Exit(1)
+			fatal("", err)
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -81,8 +93,7 @@ func main() {
 
 	if *benchJSON != "" {
 		if err := runSimBench(os.Stdout, *benchJSON, *benchTime); err != nil {
-			fmt.Fprintf(os.Stderr, "npubench: bench: %v\n", err)
-			os.Exit(1)
+			fatal("bench: ", err)
 		}
 		return
 	}
@@ -93,8 +104,7 @@ func main() {
 		}
 		fmt.Printf("==== %s ====\n", name)
 		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "npubench: %s: %v\n", name, err)
-			os.Exit(1)
+			fatal(name+": ", err)
 		}
 		fmt.Println()
 	}

@@ -1,6 +1,8 @@
 // Command npusim compiles and simulates a benchmark network on the
 // multicore-NPU model, printing latency and per-core utilization, and
-// optionally writing a Chrome trace or a text Gantt chart.
+// optionally writing a Chrome trace or a text Gantt chart. With
+// -serve it runs instead as a long-lived HTTP service with deadlines,
+// backpressure, and graceful shutdown.
 //
 // Usage:
 //
@@ -8,15 +10,21 @@
 //	npusim -model MobileNetV2 -gantt 120
 //	npusim -model UNet -trace unet.json   # open in chrome://tracing
 //	npusim -model TinyCNN -faults "drop=0.02,kill=2@400000" -fault-seed 7
+//	npusim -serve :8080                   # POST /run, GET /healthz /readyz /stats
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/cliutil"
@@ -30,6 +38,7 @@ import (
 	"repro/internal/recovery"
 	"repro/internal/report"
 	"repro/internal/serialize"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/spm"
 	"repro/internal/stats"
@@ -61,6 +70,16 @@ func main() {
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for partition planning and reference kernels (1 forces serial)")
 	engine := flag.String("engine", "event", "simulator engine: event (production) or reference (retained oracle; bit-identical, for A/B checks)")
 	strictSPM := flag.Bool("strict-spm", true, "exit non-zero when simulated live SPM bytes overflow a core's capacity; =false tolerates over-budget schedules")
+	serveAddr := flag.String("serve", "", "run as an HTTP service on this address (e.g. :8080) instead of a one-shot simulation; POST /run, GET /healthz /readyz /stats")
+	serveConc := flag.Int("serve-concurrency", 0, "serve mode: requests executed at once (0 = GOMAXPROCS)")
+	serveQueue := flag.Int("serve-queue", 0, "serve mode: admitted requests waiting beyond the executing set; beyond this, shed with 429 (0 = 2x concurrency)")
+	serveTimeout := flag.Duration("serve-timeout", 30*time.Second, "serve mode: default per-request deadline (requests may set a shorter one)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "serve mode: how long SIGTERM/SIGINT waits for in-flight requests before giving up")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "Usage of %s:\n", os.Args[0])
+		flag.PrintDefaults()
+		fmt.Fprint(flag.CommandLine.Output(), "\n"+cliutil.ExitCodeDoc)
+	}
 	flag.Parse()
 	parallel.SetWorkers(*jobs)
 	noSPMCheck = !*strictSPM
@@ -75,6 +94,16 @@ func main() {
 		}
 	default:
 		fatal(fmt.Errorf("unknown engine %q (event, reference)", *engine))
+	}
+
+	if *serveAddr != "" {
+		runServe(*serveAddr, serve.Options{
+			Concurrency:    *serveConc,
+			Queue:          *serveQueue,
+			DefaultTimeout: *serveTimeout,
+			Logger:         log.New(os.Stderr, "npusim: ", log.LstdFlags),
+		}, *drainTimeout)
+		return
 	}
 
 	if *inFile != "" {
@@ -341,7 +370,41 @@ func emitMetrics(rep *metrics.Report, mo metricsOpts) {
 	}
 }
 
+// runServe runs the HTTP service until SIGTERM/SIGINT, then drains:
+// admissions stop (readyz flips to 503, new /run requests shed), every
+// in-flight request finishes (up to drainTimeout), and the process
+// exits 0 on a clean drain.
+func runServe(addr string, opts serve.Options, drainTimeout time.Duration) {
+	s := serve.New(opts)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.ListenAndServe(addr) }()
+	opts.Logger.Printf("serving on %s (POST /run, GET /healthz /readyz /stats)", addr)
+
+	select {
+	case err := <-errCh:
+		// The listener died on its own (bad address, port in use).
+		fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills
+		opts.Logger.Printf("signal received, draining (timeout %s)", drainTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := s.Shutdown(sctx); err != nil {
+			fatal(fmt.Errorf("drain: %w", err))
+		}
+		if err := <-errCh; err != nil {
+			fatal(err)
+		}
+		opts.Logger.Printf("drained cleanly")
+	}
+}
+
+// fatal reports err and exits with its typed exit code (see the
+// cliutil exit-code table in -help).
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "npusim:", err)
-	os.Exit(1)
+	os.Exit(cliutil.ExitCode(err))
 }

@@ -1,0 +1,37 @@
+package cliutil
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/tiling"
+)
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		err  error
+		code int
+	}{
+		{nil, ExitOK},
+		{errors.New("plain"), ExitError},
+		{&core.UnfitError{Graph: "g"}, ExitUnfit},
+		// Specific class wrapped in UnfitError: the chain failure wins.
+		{&core.UnfitError{Graph: "g", Last: &tiling.CannotFitError{}}, ExitUnfit},
+		{fmt.Errorf("w: %w", &sim.SPMOverflowError{Core: 0}), ExitSPMOverflow},
+		{&tiling.CannotFitError{}, ExitCannotFit},
+		{&sim.CoreFailure{Core: 1}, ExitCoreFailure},
+		{context.Canceled, ExitCanceled},
+		{context.DeadlineExceeded, ExitCanceled},
+		{&sim.CanceledError{Cause: context.DeadlineExceeded}, ExitCanceled},
+		{fmt.Errorf("core: compile canceled: %w", context.Canceled), ExitCanceled},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.code {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.code)
+		}
+	}
+}

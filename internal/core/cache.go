@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -64,6 +65,15 @@ var (
 // — already does). Concurrent calls for the same key may both compile;
 // the results are bit-identical, and the first store wins.
 func CompileCached(g *graph.Graph, a *arch.Arch, opt Options) (*Result, error) {
+	return CompileCachedCtx(nil, g, a, opt)
+}
+
+// CompileCachedCtx is CompileCached with cooperative cancellation (see
+// CompileCtx). Cancellation can never corrupt the cache: a hit is
+// served without touching the context, and a miss only stores a fully
+// admitted Result — an aborted compile returns its error and leaves
+// the entry absent, so the next identical request compiles cleanly.
+func CompileCachedCtx(ctx context.Context, g *graph.Graph, a *arch.Arch, opt Options) (*Result, error) {
 	key := Fingerprint(g, a, opt)
 	if v, ok := compileCache.Load(key); ok {
 		cacheHits.Add(1)
@@ -71,13 +81,21 @@ func CompileCached(g *graph.Graph, a *arch.Arch, opt Options) (*Result, error) {
 		return &res, nil
 	}
 	cacheMisses.Add(1)
-	res, err := Compile(g, a, opt)
+	res, err := CompileCtx(ctx, g, a, opt)
 	if err != nil {
 		return nil, err
 	}
 	v, _ := compileCache.LoadOrStore(key, res)
 	out := *v.(*Result)
 	return &out, nil
+}
+
+// Cached reports whether a compilation point is already memoized (a
+// CompileCached call would hit). Serving layers use it to label
+// responses; the answer is advisory under concurrency.
+func Cached(g *graph.Graph, a *arch.Arch, opt Options) bool {
+	_, ok := compileCache.Load(Fingerprint(g, a, opt))
+	return ok
 }
 
 // CacheStats reports cumulative CompileCached hits and misses.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -37,6 +38,16 @@ type attempt struct {
 // downgrade in Result.Downgrades. Exhausting the chain returns a
 // typed *UnfitError.
 func Compile(g *graph.Graph, a *arch.Arch, opt Options) (*Result, error) {
+	return CompileCtx(nil, g, a, opt)
+}
+
+// CompileCtx is Compile with cooperative cancellation: ctx is polled
+// between fallback attempts, between compile stages, per emitted layer,
+// and (through sim.Config.Ctx) inside the admission simulation, so a
+// canceled compile returns promptly — wrapping ctx's error, or the
+// simulator's typed *CanceledError — without producing a Result. A
+// nil ctx disables every checkpoint and behaves exactly like Compile.
+func CompileCtx(ctx context.Context, g *graph.Graph, a *arch.Arch, opt Options) (*Result, error) {
 	t0 := time.Now()
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -48,13 +59,16 @@ func Compile(g *graph.Graph, a *arch.Arch, opt Options) (*Result, error) {
 	var downgrades []Downgrade
 	var lastErr error
 	for i, at := range fallbackChain(opt) {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		if i > 0 {
 			downgrades = append(downgrades, Downgrade{Level: at.level, Reason: lastErr.Error()})
 		}
-		res, err := compileOnce(g, a, at.opt, at.scale, at.maxStratum)
+		res, err := compileOnce(ctx, g, a, at.opt, at.scale, at.maxStratum)
 		if err == nil {
 			mark := time.Now()
-			err = admit(res)
+			err = admit(ctx, res)
 			res.Timing.Admit = time.Since(mark)
 			if err == nil {
 				res.Fallback = at.level
@@ -69,6 +83,32 @@ func Compile(g *graph.Graph, a *arch.Arch, opt Options) (*Result, error) {
 		lastErr = err
 	}
 	return nil, &UnfitError{Graph: g.Name, Downgrades: downgrades, Last: lastErr}
+}
+
+// compileCanceled wraps a context error observed at a compile-stage
+// checkpoint. It matches sim.ErrCanceled, so one sentinel covers "the
+// toolchain was cut short" wherever the checkpoint fired — compile
+// stage, emitted layer, or mid-simulation — and unwraps to the
+// context's error so errors.Is still distinguishes client abandonment
+// from deadline expiry.
+type compileCanceled struct{ cause error }
+
+func (e *compileCanceled) Error() string {
+	return "core: compile canceled: " + e.cause.Error()
+}
+func (e *compileCanceled) Is(target error) bool { return target == sim.ErrCanceled }
+func (e *compileCanceled) Unwrap() error        { return e.cause }
+
+// ctxErr polls an optional context, wrapping its error so compile-side
+// cancellations are attributable. A nil ctx never fails.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return &compileCanceled{cause: err}
+	}
+	return nil
 }
 
 // fallbackChain lists the attempts for one requested configuration,
@@ -134,21 +174,27 @@ func capacityFailure(err error) bool {
 
 // admit runs the compiled program fault-free through the event engine
 // with the SPM admission check on; the simulator's live-byte tracking
-// is the authority on whether the schedule actually fits.
-func admit(res *Result) error {
-	_, err := sim.Run(res.Program, sim.Config{})
+// is the authority on whether the schedule actually fits. The context
+// threads into the engine's cooperative checkpoints, so a canceled
+// compile aborts even mid-admission.
+func admit(ctx context.Context, res *Result) error {
+	_, err := sim.Run(res.Program, sim.Config{Ctx: ctx})
 	return err
 }
 
-// compileOnce runs the four compile stages for one fallback attempt.
-func compileOnce(g *graph.Graph, a *arch.Arch, opt Options, scale float64, maxStratum int) (*Result, error) {
+// compileOnce runs the four compile stages for one fallback attempt,
+// polling ctx (when non-nil) between stages and inside the long ones.
+func compileOnce(ctx context.Context, g *graph.Graph, a *arch.Arch, opt Options, scale float64, maxStratum int) (*Result, error) {
 	// Stage 1: partition every layer (heuristics h1-h5 or forced mode).
 	var tm Timing
 	mark := time.Now()
 	part := partition.New(g, a)
 	part.Mode = opt.Partitioning
 	part.WeightScale = opt.WeightScale
-	plans := part.PlanAll()
+	plans, err := part.PlanAllCtx(ctx)
+	if err != nil {
+		return nil, &compileCanceled{cause: err}
+	}
 	tm.Partition = time.Since(mark)
 
 	// Stage 2: schedule layer execution. Algorithm 1's
@@ -169,6 +215,9 @@ func compileOnce(g *graph.Graph, a *arch.Arch, opt Options, scale float64, maxSt
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	tm.Schedule = time.Since(mark)
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 
 	// Stage 3: stratum construction (Algorithm 2), or singleton strata
 	// when disabled.
@@ -191,11 +240,15 @@ func compileOnce(g *graph.Graph, a *arch.Arch, opt Options, scale float64, maxSt
 		redundant += s.RedundantMACs
 	}
 	tm.Stratum = time.Since(mark)
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 
 	// Stage 4: tile and lower to per-core instruction streams.
 	mark = time.Now()
 	em := newEmitter(g, a, opt, plans, order, strata)
 	em.budgetScale = scale
+	em.ctx = ctx
 	prog, err := em.emit()
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/arch"
@@ -55,6 +56,9 @@ type emitter struct {
 	// the compile driver's fallback chain lowers it after an admission
 	// failure. Zero means full capacity.
 	budgetScale float64
+	// ctx, when non-nil, is polled once per emitted layer so a canceled
+	// compile abandons lowering promptly.
+	ctx context.Context
 
 	// Analysis, by LayerID.
 	stratumOf   map[graph.LayerID]int
@@ -282,6 +286,9 @@ func (e *emitter) compatible(p, l graph.LayerID) bool {
 // emit lowers every layer and returns the program.
 func (e *emitter) emit() (*plan.Program, error) {
 	for _, id := range e.exec {
+		if err := ctxErr(e.ctx); err != nil {
+			return nil, err
+		}
 		if err := e.emitLayer(id); err != nil {
 			return nil, err
 		}

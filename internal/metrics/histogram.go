@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is one bucket per power of two of microseconds: bucket i
+// holds observations in [2^(i-1), 2^i) µs (bucket 0 holds < 1 µs).
+// 64 buckets cover every representable duration.
+const histBuckets = 64
+
+// Histogram is a lock-free latency histogram with exponential
+// (power-of-two microsecond) buckets. Concurrent Observe calls never
+// block; Quantile reads a best-effort snapshot (exact once writers
+// quiesce). The zero value is ready to use.
+//
+// Two-percent-style accuracy is plenty for serving dashboards: a
+// quantile is resolved to its bucket and interpolated geometrically
+// within it, so the reported value is within a factor of sqrt(2) of
+// the true order statistic.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sumUS  atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	h.counts[bits.Len64(uint64(us))%histBuckets].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(us)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean observed duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumUS.Load()/n) * time.Microsecond
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the observed
+// durations, interpolated within its bucket. Empty histograms return 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(total-1))
+	var seen int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if rank < seen+c {
+			lo, hi := bucketBounds(i)
+			// Linear interpolation of the rank's position inside the
+			// bucket, over the bucket's microsecond span.
+			frac := float64(rank-seen+1) / float64(c)
+			us := float64(lo) + frac*float64(hi-lo)
+			return time.Duration(us) * time.Microsecond
+		}
+		seen += c
+	}
+	lo, _ := bucketBounds(histBuckets - 1)
+	return time.Duration(lo) * time.Microsecond
+}
+
+// bucketBounds returns bucket i's [lo, hi) span in microseconds.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return 1 << (i - 1), 1 << i
+}
+
+// HistogramSnapshot is a marshalable point-in-time view.
+type HistogramSnapshot struct {
+	Count  int64
+	MeanUS int64
+	P50US  int64
+	P90US  int64
+	P99US  int64
+}
+
+// Snapshot captures the histogram for a stats endpoint.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count:  h.Count(),
+		MeanUS: h.Mean().Microseconds(),
+		P50US:  h.Quantile(0.50).Microseconds(),
+		P90US:  h.Quantile(0.90).Microseconds(),
+		P99US:  h.Quantile(0.99).Microseconds(),
+	}
+}

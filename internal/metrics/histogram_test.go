@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramQuantileBuckets(t *testing.T) {
+	var h Histogram
+	// 90 fast observations, 10 slow ones: p50 lands in the fast
+	// bucket, p99 in the slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	if n := h.Count(); n != 100 {
+		t.Fatalf("count = %d", n)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 64*time.Microsecond || p50 >= 128*time.Microsecond {
+		t.Errorf("p50 = %v, want within the [64us, 128us) bucket", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 64*time.Millisecond || p99 >= 132*time.Millisecond {
+		t.Errorf("p99 = %v, want within the slow bucket", p99)
+	}
+	if p99 <= p50 {
+		t.Errorf("p99 %v <= p50 %v", p99, p50)
+	}
+}
+
+func TestHistogramMonotoneQuantiles(t *testing.T) {
+	var h Histogram
+	for us := 1; us <= 4096; us *= 2 {
+		for i := 0; i < us; i++ {
+			h.Observe(time.Duration(us) * time.Microsecond)
+		}
+	}
+	prev := time.Duration(-1)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile %v = %v below previous %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*100+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := h.Count(); n != workers*per {
+		t.Fatalf("count = %d, want %d", n, workers*per)
+	}
+	s := h.Snapshot()
+	if s.Count != workers*per || s.P99US < s.P50US {
+		t.Fatalf("snapshot inconsistent: %+v", s)
+	}
+}

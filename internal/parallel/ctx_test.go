@@ -1,0 +1,124 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachCtxNil: a nil context is exactly ForEach.
+func TestForEachCtxNil(t *testing.T) {
+	var n atomic.Int64
+	if err := ForEachCtx(nil, 100, func(_ context.Context, i int) error {
+		n.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 100 {
+		t.Fatalf("ran %d/100 indexes", n.Load())
+	}
+}
+
+// TestForEachCtxPreCanceled: nothing runs when the context is already
+// done.
+func TestForEachCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := ForEachCtx(ctx, 100, func(_ context.Context, i int) error {
+		ran = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("fn ran under a pre-canceled context")
+	}
+}
+
+// TestForEachCtxMidSweep: cancellation mid-sweep stops claiming new
+// indexes and surfaces the context error.
+func TestForEachCtxMidSweep(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	ctx, cancel := context.WithCancel(context.Background())
+	var n atomic.Int64
+	err := ForEachCtx(ctx, 10000, func(_ context.Context, i int) error {
+		if n.Add(1) == 8 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if got := n.Load(); got >= 10000 {
+		t.Fatalf("cancellation did not shed work: %d indexes ran", got)
+	}
+}
+
+// TestForEachCtxLowerErrorWins: a real failure at a lower index beats
+// the cancellation error of higher indexes — the serial-equivalence
+// contract is preserved under cancellation.
+func TestForEachCtxLowerErrorWins(t *testing.T) {
+	prev := SetWorkers(1) // serial: index 3 fails before any cancellation check
+	defer SetWorkers(prev)
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := ForEachCtx(ctx, 100, func(_ context.Context, i int) error {
+		if i == 3 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+}
+
+// TestMapCtxCollects: MapCtx preserves Map's index-order collection.
+func TestMapCtxCollects(t *testing.T) {
+	out, err := MapCtx(context.Background(), 50, func(_ context.Context, i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestMapCtxCanceled: a canceled MapCtx returns a nil slice and the
+// context error.
+func TestMapCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := MapCtx(ctx, 50, func(_ context.Context, i int) (int, error) { return i, nil })
+	if !errors.Is(err, context.Canceled) || out != nil {
+		t.Fatalf("got (%v, %v), want (nil, context.Canceled)", out, err)
+	}
+}
+
+// TestForEachCtxPanicReraised: panics still re-raise on the calling
+// goroutine through the ctx path.
+func TestForEachCtxPanicReraised(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "ctx-panic" {
+			t.Fatalf("recovered %v, want ctx-panic", r)
+		}
+	}()
+	ForEachCtx(context.Background(), 4, func(_ context.Context, i int) error {
+		if i == 0 {
+			panic("ctx-panic")
+		}
+		return nil
+	})
+}

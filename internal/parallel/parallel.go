@@ -12,6 +12,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -143,14 +144,7 @@ func invoke(i int, fn func(i int) error) (f *failure) {
 // waits for completion. It returns the error of the lowest failing
 // index; a panic in fn is re-raised on the calling goroutine.
 func ForEach(n int, fn func(i int) error) error {
-	f := run(n, fn)
-	if f == nil {
-		return nil
-	}
-	if f.panicked != nil {
-		panic(f.panicked)
-	}
-	return f.err
+	return raise(run(n, fn))
 }
 
 // Map runs fn for every index in [0, n) and collects the results in
@@ -158,9 +152,36 @@ func ForEach(n int, fn func(i int) error) error {
 // returned (with a nil slice), matching what a serial loop that stops
 // at the first failure would report.
 func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx[T](nil, n, func(_ context.Context, i int) (T, error) { return fn(i) })
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: ctx is polled
+// before each index runs, so a canceled sweep stops claiming work and
+// returns ctx's error (unless a lower index already failed with its
+// own error, which still wins — the serial-equivalence contract). A
+// nil ctx behaves exactly like ForEach.
+func ForEachCtx(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if ctx == nil {
+		f := run(n, func(i int) error { return fn(nil, i) })
+		return raise(f)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	f := run(n, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return fn(ctx, i)
+	})
+	return raise(f)
+}
+
+// MapCtx is Map with cooperative cancellation; see ForEachCtx.
+func MapCtx[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(n, func(i int) error {
-		v, err := fn(i)
+	err := ForEachCtx(ctx, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
 		if err != nil {
 			return err
 		}
@@ -171,4 +192,16 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// raise converts a failure into the caller's error, re-panicking on
+// the calling goroutine when the failure was a panic.
+func raise(f *failure) error {
+	if f == nil {
+		return nil
+	}
+	if f.panicked != nil {
+		panic(f.panicked)
+	}
+	return f.err
 }

@@ -6,6 +6,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/arch"
@@ -186,19 +187,36 @@ const planAllMinLayers = 16
 // each layer writes only its own slot, making the result identical to
 // the serial loop.
 func (p *Partitioner) PlanAll() []Plan {
+	plans, _ := p.PlanAllCtx(nil)
+	return plans
+}
+
+// PlanAllCtx is PlanAll with cooperative cancellation: ctx is polled
+// between layers (serial path) or per claimed index (parallel path),
+// so a canceled compile stops planning promptly and returns ctx's
+// error with a nil slice. A nil ctx never fails.
+func (p *Partitioner) PlanAllCtx(ctx context.Context) ([]Plan, error) {
 	plans := make([]Plan, p.Graph.Len())
 	layers := p.Graph.Layers()
 	if len(layers) < planAllMinLayers || parallel.Serial() {
-		for _, l := range layers {
+		for i, l := range layers {
+			if ctx != nil && i&15 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			plans[l.ID] = p.PlanLayer(l)
 		}
-		return plans
+		return plans, nil
 	}
-	parallel.ForEach(len(layers), func(i int) error {
+	err := parallel.ForEachCtx(ctx, len(layers), func(_ context.Context, i int) error {
 		plans[layers[i].ID] = p.PlanLayer(layers[i])
 		return nil
 	})
-	return plans
+	if err != nil {
+		return nil, err
+	}
+	return plans, nil
 }
 
 // legalDirs returns the directions the operator admits without

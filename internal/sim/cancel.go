@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled is the sentinel for cooperative cancellation: every
+// *CanceledError matches it under errors.Is, so callers can test for
+// "the run was cut short" without caring which engine noticed.
+var ErrCanceled = errors.New("sim: run canceled")
+
+// CanceledError reports that a simulation (or the admission check
+// inside a compile) observed its context's cancellation at a
+// cooperative checkpoint and stopped. The run's partial progress is
+// discarded — the pooled engine state is reset on the next run, and no
+// caller-visible structure (compile cache, program, stats) retains
+// anything from the aborted execution.
+//
+// It unwraps to the context's error (context.Canceled or
+// context.DeadlineExceeded), so errors.Is distinguishes a client
+// abandoning a request from a deadline expiring.
+type CanceledError struct {
+	// AtCycle is the simulated time when the checkpoint fired.
+	AtCycle float64
+	// Completed and Total count retired vs. scheduled instructions.
+	Completed, Total int
+	// Cause is the context's error.
+	Cause error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("sim: canceled at cycle %.0f with %d/%d instructions done: %v",
+		e.AtCycle, e.Completed, e.Total, e.Cause)
+}
+
+// Is matches the ErrCanceled sentinel.
+func (e *CanceledError) Is(target error) bool { return target == ErrCanceled }
+
+// Unwrap exposes the context error for errors.Is(err, context.Canceled)
+// and errors.Is(err, context.DeadlineExceeded).
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// cancelCheckMask throttles the cooperative checkpoint: the engines
+// poll ctx.Err() once every cancelCheckMask+1 event-loop steps. A step
+// advances simulated time past at least one instruction or barrier
+// completion, so at typical step costs (hundreds of nanoseconds) the
+// poll interval stays far under a millisecond of wall clock while the
+// per-step overhead with a non-nil context stays below 1% (pinned by
+// BenchmarkSimulateCtx and the npubench -bench-json ctx column).
+const cancelCheckMask = 63
+
+// canceled polls ctx at a checkpoint; it returns nil when ctx is nil
+// (the fast path: one pointer compare per step) or still live.
+func canceled(ctx context.Context, step int, atCycle float64, completed, total int) error {
+	if ctx == nil || step&cancelCheckMask != 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return &CanceledError{AtCycle: atCycle, Completed: completed, Total: total, Cause: err}
+	}
+	return nil
+}

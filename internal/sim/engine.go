@@ -415,7 +415,10 @@ func (m *machine) run(a *arch.Arch, placements []Placement, cfg Config) (*Result
 	m.now = 0
 	m.completed = 0
 
-	for m.completed < total {
+	for step := 0; m.completed < total; step++ {
+		if err := canceled(cfg.Ctx, step, m.now, m.completed, total); err != nil {
+			return nil, err
+		}
 		// Fault events due now fire before new work issues: a throttle
 		// rescales the core's in-flight compute (and its DMA capacity,
 		// via the dirty rebuild); a death fails the run if the core

@@ -428,7 +428,10 @@ func RunConcurrentReference(a *arch.Arch, placements []Placement, cfg Config) (*
 		}
 	}
 
-	for completed < total {
+	for step := 0; completed < total; step++ {
+		if err := canceled(cfg.Ctx, step, now, completed, total); err != nil {
+			return nil, err
+		}
 		// Fault events due now fire before new work issues: a throttle
 		// rescales the core's in-flight compute; a death fails the run
 		// if the core still owes instructions (and is inert otherwise).

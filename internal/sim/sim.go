@@ -26,6 +26,7 @@
 package sim
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/fault"
@@ -135,6 +136,13 @@ type Result struct {
 
 // Config controls a simulation run.
 type Config struct {
+	// Ctx, when non-nil, is polled at cooperative checkpoints in both
+	// engines' event loops; once it is done the run stops and returns a
+	// *CanceledError (matching ErrCanceled and unwrapping to the
+	// context's error). A nil Ctx costs one pointer compare per step.
+	// Cancellation never perturbs an uncanceled run: with a live
+	// context both engines stay bit-identical to a nil-context run.
+	Ctx context.Context
 	// CollectTrace records every instruction interval.
 	CollectTrace bool
 	// Faults injects deterministic faults (nil or empty: none). A run

@@ -16,6 +16,7 @@
 package npu
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -132,6 +133,49 @@ func Compile(g *Graph, a *Arch, opt Options) (*Result, error) {
 	return core.Compile(g, a, opt)
 }
 
+// CompileCtx is Compile with cooperative cancellation: ctx is polled
+// at checkpoints throughout the compile pipeline (including the
+// admission simulation), so an expired deadline or canceled request
+// aborts promptly with an error wrapping ctx's error. A nil ctx
+// behaves exactly like Compile.
+func CompileCtx(ctx context.Context, g *Graph, a *Arch, opt Options) (*Result, error) {
+	return core.CompileCtx(ctx, g, a, opt)
+}
+
+// CompileCached is Compile with process-wide memoization; identical
+// (graph, arch, options) points compile once. See core.CompileCached.
+func CompileCached(g *Graph, a *Arch, opt Options) (*Result, error) {
+	return core.CompileCached(g, a, opt)
+}
+
+// CompileCachedCtx is CompileCached with cooperative cancellation. A
+// canceled compile never stores a partial entry, so a follow-up
+// identical request compiles cleanly (or hits a prior good entry).
+func CompileCachedCtx(ctx context.Context, g *Graph, a *Arch, opt Options) (*Result, error) {
+	return core.CompileCachedCtx(ctx, g, a, opt)
+}
+
+// Typed-error surface, re-exported so API users can classify failures
+// with errors.Is/errors.As against a single import.
+type (
+	// UnfitError reports that the graceful-degradation chain was
+	// exhausted without finding a schedule that fits SPM.
+	UnfitError = core.UnfitError
+	// SPMOverflowError reports a schedule whose live bytes exceeded a
+	// core's scratchpad during admission or simulation.
+	SPMOverflowError = sim.SPMOverflowError
+	// CanceledError reports a simulation aborted at a cooperative
+	// cancellation checkpoint; it unwraps to the context error.
+	CanceledError = sim.CanceledError
+	// CannotFitError reports a single layer whose minimal tile exceeds
+	// the SPM budget.
+	CannotFitError = tiling.CannotFitError
+)
+
+// ErrCanceled matches (via errors.Is) any simulation or compilation
+// aborted by context cancellation.
+var ErrCanceled = sim.ErrCanceled
+
 // Report is a simulation outcome with convenient accessors.
 type Report struct {
 	// Stats holds latency and per-core metrics (cycles).
@@ -179,7 +223,15 @@ func (r *Report) String() string {
 
 // Simulate runs a compiled program on the discrete-event simulator.
 func Simulate(res *Result, collectTrace bool) (*Report, error) {
-	out, err := sim.Run(res.Program, sim.Config{CollectTrace: collectTrace})
+	return SimulateCtx(nil, res, collectTrace)
+}
+
+// SimulateCtx is Simulate with cooperative cancellation: the engine
+// polls ctx every few dozen event-loop steps and aborts with a typed
+// *CanceledError (matching ErrCanceled). A nil ctx costs one pointer
+// compare per step.
+func SimulateCtx(ctx context.Context, res *Result, collectTrace bool) (*Report, error) {
+	out, err := sim.Run(res.Program, sim.Config{Ctx: ctx, CollectTrace: collectTrace})
 	if err != nil {
 		return nil, err
 	}
@@ -193,11 +245,18 @@ func Simulate(res *Result, collectTrace bool) (*Report, error) {
 
 // Run compiles and simulates in one step.
 func Run(g *Graph, a *Arch, opt Options) (*Report, error) {
-	res, err := Compile(g, a, opt)
+	return RunCtx(nil, g, a, opt)
+}
+
+// RunCtx is Run with cooperative cancellation covering both the
+// compile pipeline and the simulation. A nil ctx behaves exactly
+// like Run.
+func RunCtx(ctx context.Context, g *Graph, a *Arch, opt Options) (*Report, error) {
+	res, err := CompileCtx(ctx, g, a, opt)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := Simulate(res, false)
+	rep, err := SimulateCtx(ctx, res, false)
 	if err != nil {
 		return nil, err
 	}
