@@ -1,0 +1,43 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/loadgen"
+)
+
+// runLoadgen is the -experiment loadgen hook: a fixed, seeded
+// fleet-scale replay sweep — the default Table 2 mix over the default
+// capacity multiples — written to benchPath as the BENCH_loadgen.json
+// artifact. It is the one-command version of the npuload CLI; use
+// npuload directly for custom mixes, batching windows, or live
+// -serve targets.
+func runLoadgen(w io.Writer, benchPath string) error {
+	rep, err := loadgen.RunReplay(loadgen.DefaultMix(), loadgen.Options{
+		Requests: 200_000,
+		Seed:     1,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "fleet replay: %d requests/point, %d devices, estimated capacity %.0f req/s\n",
+		200_000, rep.Devices, rep.CapacityRPS)
+	if err := rep.WriteTable(w); err != nil {
+		return err
+	}
+	f, err := os.Create(benchPath)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "report written to %s\n", benchPath)
+	return nil
+}

@@ -35,11 +35,12 @@ func fatal(prefix string, err error) {
 }
 
 func main() {
-	which := flag.String("experiment", "all", "fig11, fig12, table1, table2, table4, table5, ablation, concurrent, faults, metrics, spm, or all")
+	which := flag.String("experiment", "all", "fig11, fig12, table1, table2, table4, table5, ablation, concurrent, faults, loadgen, metrics, spm, or all")
 	metricsOnly := flag.Bool("metrics", false, "print the Figure-10-style utilization table for the Table 2 nets (alias for -experiment metrics)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for compile/simulate sweeps (1 forces serial)")
 	benchJSON := flag.String("bench-json", "", "A/B-benchmark the event simulator engine against the reference engine, write the report to this file, and exit")
 	benchTime := flag.Duration("bench-time", time.Second, "per-measurement duration for -bench-json")
+	loadgenJSON := flag.String("loadgen-json", "BENCH_loadgen.json", "output file for the -experiment loadgen fleet-replay report")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	strictSPM := flag.Bool("strict-spm", true, "fail experiments on SPM overflow in the simulator; =false tolerates over-budget schedules")
@@ -164,6 +165,9 @@ func main() {
 	})
 	run("spm", func() error {
 		return spmGate(os.Stdout)
+	})
+	run("loadgen", func() error {
+		return runLoadgen(os.Stdout, *loadgenJSON)
 	})
 	run("metrics", func() error {
 		for _, opt := range []core.Options{core.Base(), core.Stratum()} {

@@ -1,0 +1,184 @@
+// Command npuload is the fleet-scale load generator: it drives
+// simulated inference requests — millions per second in replay mode —
+// through pools of simulated devices and reports throughput and
+// p50/p90/p99/p99.9 latency per offered load.
+//
+// With no -target it runs in replay mode: each distinct (model,
+// cores, config) point of the request mix is compiled and simulated
+// exactly once, and every request replays the cached result through a
+// virtual-time device model, so a million-request sweep finishes in
+// well under a second. With -target it drives a live npusim -serve
+// endpoint over HTTP instead.
+//
+// Usage:
+//
+//	npuload                                    # default Table 2 mix, capacity sweep
+//	npuload -requests 5000000 -rates 20000,80000,200000
+//	npuload -mix "MobileNetV2=3,UNet=1" -batch-window-us 2000
+//	npuload -arrival closed -clients 256 -think-us 5000
+//	npuload -target http://127.0.0.1:8080 -arrival closed -clients 8 -requests 200
+//	npuload -seed 7 -out BENCH_loadgen.json -csv loadgen.csv
+//
+// Reports are deterministic in replay mode: the same -seed (and
+// options) produces a byte-identical -out file on any host.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/cliutil"
+	"repro/internal/loadgen"
+	"repro/internal/parallel"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "npuload:", err)
+	os.Exit(cliutil.ExitCode(err))
+}
+
+func main() {
+	target := flag.String("target", "", "live npusim -serve base URL (e.g. http://127.0.0.1:8080); empty = in-process replay mode")
+	mixSpec := flag.String("mix", "", `request mix as "Model=weight,Model=weight" (e.g. "MobileNetV2=3,UNet=1"); empty = the default Table 2 fleet mix`)
+	cores := flag.Int("cores", 3, "NPU cores per simulated device (applies to every mix entry)")
+	config := flag.String("config", "stratum", "optimization configuration for every mix entry: base, halo, stratum")
+	requests := flag.Int64("requests", 1_000_000, "requests per load point (exact)")
+	rates := flag.String("rates", "", "comma-separated offered loads in requests/sec; empty = sweep multiples of the pool's estimated capacity")
+	utils := flag.String("utilizations", "", "capacity multiples for the default sweep (e.g. \"0.5,0.9,1.5\")")
+	devices := flag.Int("devices", 16, "simulated device-pool size")
+	shards := flag.Int("shards", 8, "replay shards (part of the deterministic RNG layout; fixed default keeps reports host-independent)")
+	arrival := flag.String("arrival", "poisson", "arrival process: poisson (open loop) or closed")
+	clients := flag.Int("clients", 0, "closed-loop client population (0 = 4x devices); live mode: concurrent HTTP workers")
+	thinkUS := flag.Float64("think-us", 0, "closed-loop mean think time between requests, µs (exponential)")
+	batchWindow := flag.Float64("batch-window-us", 0, "per-device batching window, µs (0 = no batching; open loop only)")
+	batchMax := flag.Int("batch-max", 16, "max same-model requests coalesced per batch")
+	batchDiscount := flag.Float64("batch-discount", 0.85, "marginal cost of each batched item after the first (fraction of solo service time)")
+	seed := flag.Uint64("seed", 1, "seed for arrival processes and mix sampling; equal seeds reproduce replay reports byte-identically")
+	out := flag.String("out", "", "write the JSON report to this file")
+	csvOut := flag.String("csv", "", "write the per-point CSV curve to this file")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for the replay shards (1 forces serial; results are identical either way)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "Usage of %s:\n", os.Args[0])
+		flag.PrintDefaults()
+		fmt.Fprint(flag.CommandLine.Output(), "\n"+cliutil.ExitCodeDoc)
+	}
+	flag.Parse()
+	parallel.SetWorkers(*jobs)
+
+	mix, err := parseMix(*mixSpec, *cores, *config)
+	if err != nil {
+		fatal(err)
+	}
+	o := loadgen.Options{
+		Requests:      *requests,
+		Devices:       *devices,
+		Shards:        *shards,
+		Arrival:       *arrival,
+		Clients:       *clients,
+		ThinkUS:       *thinkUS,
+		BatchWindowUS: *batchWindow,
+		BatchMax:      *batchMax,
+		BatchDiscount: *batchDiscount,
+		Seed:          *seed,
+	}
+	if o.Rates, err = parseFloats(*rates); err != nil {
+		fatal(fmt.Errorf("bad -rates: %w", err))
+	}
+	if o.Utilizations, err = parseFloats(*utils); err != nil {
+		fatal(fmt.Errorf("bad -utilizations: %w", err))
+	}
+
+	var rep *loadgen.Report
+	if *target != "" {
+		rep, err = loadgen.RunLive(context.Background(), strings.TrimRight(*target, "/"), mix, o)
+	} else {
+		rep, err = loadgen.RunReplay(mix, o)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if rep.CapacityRPS > 0 {
+		fmt.Printf("estimated pool capacity: %.0f req/s (%d devices)\n", rep.CapacityRPS, rep.Devices)
+	}
+	if err := rep.WriteTable(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		if err := writeTo(*out, rep.WriteJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("report written to %s\n", *out)
+	}
+	if *csvOut != "" {
+		if err := writeTo(*csvOut, rep.WriteCSV); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("curve written to %s\n", *csvOut)
+	}
+}
+
+// parseMix turns "Model=weight,Model=weight" (weight optional,
+// default 1) into mix entries with the CLI-wide cores/config applied.
+func parseMix(spec string, cores int, config string) ([]loadgen.MixEntry, error) {
+	if spec == "" {
+		mix := loadgen.DefaultMix()
+		for i := range mix {
+			mix[i].Cores, mix[i].Config = cores, config
+		}
+		return mix, nil
+	}
+	var mix []loadgen.MixEntry
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, hasW := strings.Cut(part, "=")
+		w := 1.0
+		if hasW {
+			var err error
+			if w, err = strconv.ParseFloat(wstr, 64); err != nil {
+				return nil, fmt.Errorf("bad mix weight %q: %w", part, err)
+			}
+		}
+		mix = append(mix, loadgen.MixEntry{Model: strings.TrimSpace(name), Weight: w, Cores: cores, Config: config})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty -mix %q", spec)
+	}
+	return mix, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func writeTo(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

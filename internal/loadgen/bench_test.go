@@ -1,0 +1,106 @@
+package loadgen
+
+import (
+	"sync"
+	"testing"
+)
+
+var benchMixOnce struct {
+	sync.Once
+	rm  *Mix
+	err error
+}
+
+// benchMix resolves a two-line replay cache once per test binary; the
+// models are small so the one-time compile+sim cost stays low, and the
+// replay hot path being measured is identical for any mix.
+func benchMix(b testing.TB) *Mix {
+	benchMixOnce.Do(func() {
+		benchMixOnce.rm, benchMixOnce.err = Resolve([]MixEntry{
+			{Model: "TinyCNN", Weight: 3},
+			{Model: "ShuffleNetV2", Weight: 1},
+		})
+	})
+	if benchMixOnce.err != nil {
+		b.Fatal(benchMixOnce.err)
+	}
+	return benchMixOnce.rm
+}
+
+// BenchmarkLoadgen measures the replay hot path: virtual-time Poisson
+// arrivals through the sharded device pool, one op = one replayed
+// request. The acceptance floor is >= 1e6 requests/second with ~0
+// allocs/request; the per-run shard setup amortizes to zero over b.N.
+func BenchmarkLoadgen(b *testing.B) {
+	rm := benchMix(b)
+	o := Options{Requests: int64(b.N), Seed: 1}.withDefaults()
+	rate := 0.9 * rm.CapacityRPS(o.Devices)
+	b.ReportAllocs()
+	b.ResetTimer()
+	p := replayPoint(rm, o, rate)
+	b.StopTimer()
+	if p.Requests != int64(b.N) {
+		b.Fatalf("replayed %d requests, want %d", p.Requests, b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkLoadgenBatched is the same path with the batching window
+// open — the coalescing bookkeeping must stay allocation-free too.
+func BenchmarkLoadgenBatched(b *testing.B) {
+	rm := benchMix(b)
+	o := Options{Requests: int64(b.N), Seed: 1, BatchWindowUS: 500}.withDefaults()
+	rate := 2 * rm.CapacityRPS(o.Devices)
+	b.ReportAllocs()
+	b.ResetTimer()
+	p := replayPoint(rm, o, rate)
+	b.StopTimer()
+	if p.Requests != int64(b.N) {
+		b.Fatalf("replayed %d requests, want %d", p.Requests, b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// TestReplayAllocsPerRequest pins the ~0 allocs/request contract
+// deterministically (benchmarks only report; this gates): one full
+// 200k-request point may allocate only its fixed per-run setup — shard
+// state, histograms, goroutines — under 500 allocations total, i.e.
+// < 0.0025 allocs/request.
+func TestReplayAllocsPerRequest(t *testing.T) {
+	rm := benchMix(t)
+	o := Options{Requests: 200_000, Seed: 1}.withDefaults()
+	rate := 0.9 * rm.CapacityRPS(o.Devices)
+	allocs := testing.AllocsPerRun(3, func() {
+		p := replayPoint(rm, o, rate)
+		if p.Requests != o.Requests {
+			t.Fatalf("replayed %d, want %d", p.Requests, o.Requests)
+		}
+	})
+	if allocs > 500 {
+		t.Errorf("one 200k-request point allocated %v times (> 500): the replay hot path is allocating per request", allocs)
+	}
+}
+
+// TestReplayThroughputFloor is a soft sanity check on the 1M req/s
+// acceptance floor: it logs the measured rate and only fails below a
+// tenth of the floor, so CI noise cannot flake it while a real
+// regression (an accidental allocation or sim call per request)
+// still trips.
+func TestReplayThroughputFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	rm := benchMix(t)
+	o := Options{Requests: 2_000_000, Seed: 1}.withDefaults()
+	rate := 0.9 * rm.CapacityRPS(o.Devices)
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			replayPoint(rm, o, rate)
+		}
+	})
+	reqPerSec := float64(o.Requests) * float64(res.N) / res.T.Seconds()
+	t.Logf("replay throughput: %.2fM requests/sec (acceptance floor 1M)", reqPerSec/1e6)
+	if reqPerSec < 100_000 {
+		t.Errorf("replay throughput %.0f req/s is below even 0.1M — hot path regressed", reqPerSec)
+	}
+}

@@ -1,0 +1,217 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+)
+
+// sampleMix is the live-mode mix sampler: weights normalized, no local
+// compile or sim — the server owns those.
+type sampleMix struct {
+	entries []MixEntry
+	cum     []float64
+	bodies  [][]byte
+}
+
+func newSampleMix(mix []MixEntry) (*sampleMix, error) {
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("loadgen: empty mix")
+	}
+	var total float64
+	for i, e := range mix {
+		if e.Weight <= 0 {
+			return nil, fmt.Errorf("loadgen: mix entry %d (%s) has non-positive weight %v", i, e.Model, e.Weight)
+		}
+		total += e.Weight
+	}
+	sm := &sampleMix{entries: make([]MixEntry, len(mix))}
+	var cum float64
+	for i, e := range mix {
+		if e.Cores == 0 {
+			e.Cores = 3
+		}
+		if e.Config == "" {
+			e.Config = "stratum"
+		}
+		e.Weight /= total // report normalized shares, like replay mode
+		sm.entries[i] = e
+		cum += e.Weight
+		sm.cum = append(sm.cum, cum)
+		// The wire shape of serve.RunRequest, prebuilt once per entry.
+		body, err := json.Marshal(struct {
+			Model  string
+			Cores  int
+			Config string
+		}{e.Model, e.Cores, e.Config})
+		if err != nil {
+			return nil, err
+		}
+		sm.bodies = append(sm.bodies, body)
+	}
+	sm.cum[len(sm.cum)-1] = 1
+	return sm, nil
+}
+
+func (sm *sampleMix) sample(rng *prng) int {
+	u := rng.uniform()
+	for i, c := range sm.cum {
+		if u < c {
+			return i
+		}
+	}
+	return len(sm.cum) - 1
+}
+
+// liveItem is one scheduled request flowing through parallel.Stream.
+type liveItem struct {
+	entry int
+	sched time.Time
+}
+
+// liveWorker is one HTTP client's private state: no locking, indexed
+// by the Stream worker id.
+type liveWorker struct {
+	latency metrics.Histogram
+	failed  int64
+	maxUS   int64
+	done    int64
+	perEnt  []metrics.Histogram
+}
+
+// RunLive drives a live npusim -serve endpoint with real HTTP
+// requests through the streaming worker pool: the producer emits the
+// (seeded, reproducible) request schedule, and o.Clients concurrent
+// workers execute it, each with its own histogram, merged at the end.
+//
+// The open loop paces arrivals in wall time at the offered rate (the
+// first of o.Rates; exactly one rate per call); the closed loop lets
+// the worker population itself set the pace. Latency is measured from
+// the scheduled arrival (open) or issue (closed) to the response, so
+// open-loop queueing delay counts against the server — the honest
+// fleet view. Non-2xx responses count as Failed, not errors; only
+// transport failures abort the run.
+func RunLive(ctx context.Context, target string, mix []MixEntry, o Options) (*Report, error) {
+	o = o.withDefaults()
+	sm, err := newSampleMix(mix)
+	if err != nil {
+		return nil, err
+	}
+	var rate float64
+	if o.Arrival == ArrivalPoisson {
+		if len(o.Rates) != 1 {
+			return nil, fmt.Errorf("loadgen: live open-loop runs need exactly one -rates value (got %d)", len(o.Rates))
+		}
+		rate = o.Rates[0]
+		if rate <= 0 {
+			return nil, fmt.Errorf("loadgen: non-positive offered rate %v", rate)
+		}
+	} else if o.Arrival != ArrivalClosed {
+		return nil, fmt.Errorf("loadgen: unknown arrival process %q (poisson, closed)", o.Arrival)
+	}
+
+	prev := parallel.SetWorkers(o.Clients)
+	defer parallel.SetWorkers(prev)
+	workers := parallel.Workers()
+	state := make([]*liveWorker, workers)
+	for i := range state {
+		state[i] = &liveWorker{perEnt: make([]metrics.Histogram, len(sm.entries))}
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+	url := target + "/run"
+
+	rng := prng(o.Seed)
+	start := time.Now()
+	err = parallel.Stream(ctx, 2*workers,
+		func(emit func(liveItem) bool) error {
+			t := start
+			for i := int64(0); i < o.Requests; i++ {
+				it := liveItem{entry: sm.sample(&rng), sched: time.Now()}
+				if rate > 0 {
+					t = t.Add(time.Duration(rng.exp() * 1e6 / rate * float64(time.Microsecond)))
+					time.Sleep(time.Until(t))
+					it.sched = t
+				}
+				if !emit(it) {
+					return nil
+				}
+			}
+			return nil
+		},
+		func(worker int, it liveItem) error {
+			w := state[worker]
+			resp, err := client.Post(url, "application/json", bytes.NewReader(sm.bodies[it.entry]))
+			if err != nil {
+				return fmt.Errorf("loadgen: POST %s: %w", url, err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lat := time.Since(it.sched)
+			w.done++
+			if resp.StatusCode != http.StatusOK {
+				w.failed++
+				return nil
+			}
+			w.latency.Observe(lat)
+			w.perEnt[it.entry].Observe(lat)
+			if us := lat.Microseconds(); us > w.maxUS {
+				w.maxUS = us
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	makespan := time.Since(start)
+
+	agg := state[0]
+	for _, w := range state[1:] {
+		agg.latency.Merge(&w.latency)
+		for e := range agg.perEnt {
+			agg.perEnt[e].Merge(&w.perEnt[e])
+		}
+		agg.failed += w.failed
+		agg.done += w.done
+		if w.maxUS > agg.maxUS {
+			agg.maxUS = w.maxUS
+		}
+	}
+
+	rep := newReport("live", nil, o)
+	rep.Target = target
+	rep.Devices, rep.Shards = 0, 0
+	rep.Clients = o.Clients
+	for _, e := range sm.entries {
+		rep.Mix = append(rep.Mix, MixInfo{Model: e.Model, Config: e.Config, Cores: e.Cores, Weight: round3(e.Weight)})
+	}
+	p := Point{
+		OfferedRPS: round3(rate),
+		Requests:   agg.done,
+		MakespanUS: round3(float64(makespan) / float64(time.Microsecond)),
+		Latency:    summarize(agg.latency.Dist(), agg.maxUS),
+		Failed:     agg.failed,
+	}
+	if makespan > 0 {
+		p.AchievedRPS = round3(float64(agg.done) / makespan.Seconds())
+	}
+	for e := range sm.entries {
+		d := agg.perEnt[e].Dist()
+		if d.Count() == 0 {
+			continue
+		}
+		p.PerModel = append(p.PerModel, ModelPoint{
+			Model:   sm.entries[e].Model,
+			Config:  sm.entries[e].Config,
+			Latency: summarize(d, 0),
+		})
+	}
+	rep.Points = append(rep.Points, p)
+	return rep, nil
+}

@@ -1,0 +1,277 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+// testMix exercises distinct models, configs, and core counts — four
+// distinct replay-cache lines.
+func testMix() []MixEntry {
+	return []MixEntry{
+		{Model: "TinyCNN", Weight: 4},
+		{Model: "TinyCNN", Weight: 2, Config: "base"},
+		{Model: "ShuffleNetV2", Weight: 3},
+		{Model: "TinyCNN", Weight: 1, Cores: 1},
+	}
+}
+
+// TestReplayCrossCheck is the acceptance gate for the replay cache:
+// for every (model, config) point in the mix, the cached service
+// latency every replayed request reuses is bit-identical to a fresh,
+// uncached compile + sim of that point.
+func TestReplayCrossCheck(t *testing.T) {
+	rm, err := Resolve(testMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range rm.Entries() {
+		m, err := models.ByName(e.Model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := cliutil.Arch(e.Cores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := cliutil.Config(e.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Compile(m.Build(), a, opt) // fresh, bypasses the cache
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := sim.Run(res.Program, sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh := out.Stats.LatencyMicros(a.ClockMHz)
+		if got := rm.ServiceUS(i); got != fresh {
+			t.Errorf("%s/%s/%d cores: replay cache %v µs, fresh sim %v µs (must be bit-identical)",
+				e.Model, e.Config, e.Cores, got, fresh)
+		}
+	}
+}
+
+// TestReplayExactCounts: every load point replays exactly the
+// requested number of requests, and the per-model slices sum to it.
+func TestReplayExactCounts(t *testing.T) {
+	const n = 50_000
+	rep, err := RunReplay(testMix(), Options{
+		Requests: n,
+		Rates:    []float64{500, 5_000},
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if p.Requests != n {
+			t.Errorf("rate %v: %d requests, want exactly %d", p.OfferedRPS, p.Requests, n)
+		}
+		if p.Latency.Count != n {
+			t.Errorf("rate %v: histogram count %d, want %d", p.OfferedRPS, p.Latency.Count, n)
+		}
+		var perModel int64
+		for _, mp := range p.PerModel {
+			perModel += mp.Latency.Count
+		}
+		if perModel != n {
+			t.Errorf("rate %v: per-model counts sum to %d, want %d", p.OfferedRPS, perModel, n)
+		}
+		if p.Latency.P99US <= 0 || p.Latency.P999US < p.Latency.P99US {
+			t.Errorf("rate %v: implausible tail: %+v", p.OfferedRPS, p.Latency)
+		}
+		if p.AchievedRPS <= 0 {
+			t.Errorf("rate %v: no throughput reported", p.OfferedRPS)
+		}
+	}
+	// Under heavier offered load, tail latency must not improve.
+	if rep.Points[1].Latency.P99US < rep.Points[0].Latency.P99US {
+		t.Errorf("p99 fell from %d to %d µs as offered load rose 10x",
+			rep.Points[0].Latency.P99US, rep.Points[1].Latency.P99US)
+	}
+}
+
+// TestReplayDeterminism is the -seed regression gate: two runs with
+// the same seed produce byte-identical reports; a different seed does
+// not.
+func TestReplayDeterminism(t *testing.T) {
+	opts := Options{Requests: 20_000, Rates: []float64{2_000}, BatchWindowUS: 500, Seed: 7}
+	render := func(o Options) []byte {
+		rep, err := RunReplay(testMix(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(opts), render(opts)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed, different reports:\n%s\n----\n%s", a, b)
+	}
+	opts.Seed = 8
+	if bytes.Equal(a, render(opts)) {
+		t.Fatal("different seeds produced identical reports — RNG not seeded")
+	}
+}
+
+// TestReplayBatching: with a window open and load clustered on one
+// model, batches form, respect the cap, and coalesce multiple
+// requests; the exact request count still holds.
+func TestReplayBatching(t *testing.T) {
+	mix := []MixEntry{{Model: "TinyCNN", Weight: 1}}
+	rm, err := Resolve(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4x the pool's capacity: queues form and windows fill, whatever
+	// TinyCNN's absolute service time is.
+	rate := 4 * rm.CapacityRPS(16)
+	const n = 30_000
+	rep, err := RunReplay(mix, Options{
+		Requests:      n,
+		Rates:         []float64{rate},
+		BatchWindowUS: 1_000,
+		BatchMax:      8,
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rep.Points[0]
+	if p.Requests != n {
+		t.Fatalf("requests %d, want %d", p.Requests, n)
+	}
+	if p.Batches == 0 || p.Batches >= n {
+		t.Fatalf("batches = %d, want coalescing (0 < batches < %d)", p.Batches, n)
+	}
+	if p.MeanBatch <= 1 || p.MeanBatch > 8 {
+		t.Fatalf("mean batch %v, want in (1, BatchMax=8]", p.MeanBatch)
+	}
+
+	// Batching must beat no-batching on throughput at saturation: the
+	// discount makes marginal same-model items cheaper.
+	noBatch, err := RunReplay(mix, Options{Requests: n, Rates: []float64{rate}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.AchievedRPS <= noBatch.Points[0].AchievedRPS {
+		t.Errorf("batched throughput %v <= unbatched %v at saturation",
+			p.AchievedRPS, noBatch.Points[0].AchievedRPS)
+	}
+}
+
+// TestReplayClosedLoop: the closed loop issues exactly n requests and
+// every latency is at least one service time.
+func TestReplayClosedLoop(t *testing.T) {
+	const n = 20_000
+	rep, err := RunReplay(testMix(), Options{
+		Requests: n,
+		Arrival:  ArrivalClosed,
+		Clients:  32,
+		ThinkUS:  100,
+		Seed:     9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 1 {
+		t.Fatalf("closed loop points = %d, want 1", len(rep.Points))
+	}
+	p := rep.Points[0]
+	if p.Requests != n || p.Latency.Count != n {
+		t.Fatalf("requests %d / count %d, want %d", p.Requests, p.Latency.Count, n)
+	}
+	if p.OfferedRPS != 0 {
+		t.Errorf("closed loop reported an offered rate: %v", p.OfferedRPS)
+	}
+	if p.AchievedRPS <= 0 {
+		t.Error("closed loop reported no throughput")
+	}
+	// Fastest possible completion is the cheapest service time; the
+	// √2-bucket quantile can sit one factor below it, no further.
+	rm, err := Resolve(testMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	minSvc := rm.ServiceUS(0)
+	for i := range rm.Entries() {
+		if s := rm.ServiceUS(i); s < minSvc {
+			minSvc = s
+		}
+	}
+	if lo := int64(minSvc / 1.5); p.Latency.P50US < lo {
+		t.Errorf("closed-loop p50 %d µs below any service time (min %v µs)", p.Latency.P50US, minSvc)
+	}
+}
+
+// TestResolveErrors: bad mixes fail with errors, not panics.
+func TestResolveErrors(t *testing.T) {
+	if _, err := Resolve(nil); err == nil {
+		t.Error("empty mix resolved")
+	}
+	if _, err := Resolve([]MixEntry{{Model: "NoSuchNet", Weight: 1}}); err == nil {
+		t.Error("unknown model resolved")
+	}
+	if _, err := Resolve([]MixEntry{{Model: "TinyCNN", Weight: 0}}); err == nil {
+		t.Error("zero weight resolved")
+	}
+	if _, err := RunReplay(testMix(), Options{Requests: 10, Arrival: "bursty"}); err == nil {
+		t.Error("unknown arrival process accepted")
+	}
+	if _, err := RunReplay(testMix(), Options{Requests: 10, Rates: []float64{-1}}); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+// TestRunLive drives a real in-process serve.Server over HTTP through
+// the streaming pool: exact request accounting and a populated tail.
+func TestRunLive(t *testing.T) {
+	s := serve.New(serve.Options{Concurrency: 4, Queue: 64})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 40
+	mix := []MixEntry{
+		{Model: "TinyCNN", Weight: 3},
+		{Model: "ShuffleNetV2", Weight: 1},
+	}
+	rep, err := RunLive(context.Background(), ts.URL, mix, Options{
+		Requests: n,
+		Arrival:  ArrivalClosed,
+		Clients:  4,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rep.Points[0]
+	if p.Requests != n {
+		t.Fatalf("live requests %d, want exactly %d", p.Requests, n)
+	}
+	if p.Failed != 0 {
+		t.Fatalf("%d live requests failed", p.Failed)
+	}
+	if p.Latency.Count != n || p.Latency.P99US <= 0 {
+		t.Fatalf("live latency summary incomplete: %+v", p.Latency)
+	}
+	if rep.Mode != "live" || rep.Target != ts.URL {
+		t.Errorf("report mode/target = %q/%q", rep.Mode, rep.Target)
+	}
+}

@@ -1,0 +1,387 @@
+package loadgen
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+)
+
+// replayPoint replays one offered-load point: o.Requests requests,
+// split across shards, each shard owning its slice of the device pool.
+// rate is the offered load in requests/second (ignored by the closed
+// loop). Shards run under the worker pool but are data-independent, so
+// the merged result does not depend on scheduling.
+func replayPoint(rm *Mix, o Options, rate float64) Point {
+	shards := make([]*shard, o.Shards)
+	var assigned int64
+	for s := range shards {
+		n := splitRange(o.Requests, s, o.Shards)
+		shards[s] = newShard(rm, o, s, n)
+		assigned += n
+	}
+
+	parallel.ForEach(len(shards), func(i int) error {
+		sh := shards[i]
+		if o.Arrival == ArrivalClosed {
+			sh.runClosed()
+		} else {
+			// Each shard offers its proportional slice of the rate, so
+			// the aggregate arrival process has the requested intensity.
+			sh.runOpen(rate * float64(sh.requests) / float64(assigned))
+		}
+		return nil
+	})
+
+	// Merge per-shard results in shard order: bucket counts add
+	// exactly, so the merged quantiles equal a single histogram's.
+	agg := shards[0]
+	for _, sh := range shards[1:] {
+		agg.latency.Merge(&sh.latency)
+		for m := range agg.perModel {
+			agg.perModel[m].Merge(&sh.perModel[m])
+		}
+		if sh.maxUS > agg.maxUS {
+			agg.maxUS = sh.maxUS
+		}
+		if sh.maxCompletion > agg.maxCompletion {
+			agg.maxCompletion = sh.maxCompletion
+		}
+		agg.batches += sh.batches
+	}
+
+	p := Point{
+		OfferedRPS: round3(rate),
+		Requests:   agg.latency.Count(),
+		MakespanUS: round3(agg.maxCompletion),
+		Latency:    summarize(agg.latency.Dist(), agg.maxUS),
+	}
+	if agg.maxCompletion > 0 {
+		p.AchievedRPS = round3(float64(p.Requests) / (agg.maxCompletion * 1e-6))
+	}
+	if o.BatchWindowUS > 0 && agg.batches > 0 {
+		p.Batches = agg.batches
+		p.MeanBatch = round3(float64(p.Requests) / float64(agg.batches))
+	}
+	for m := range agg.perModel {
+		d := agg.perModel[m].Dist()
+		p.PerModel = append(p.PerModel, ModelPoint{
+			Model:   rm.entries[m].Model,
+			Config:  rm.entries[m].Config,
+			Latency: summarize(d, 0),
+		})
+	}
+	return p
+}
+
+// device is one simulated NPU's timeline within a shard. Work is
+// tracked as a busy horizon plus at most one open (unissued) batch.
+type device struct {
+	busyUntil float64
+	batModel  int // -1 = no open batch
+	batCount  int
+	batFirst  float64
+	arrivals  [batchCap]float64
+}
+
+// shard is the per-goroutine replay state: its own devices, RNG, and
+// histograms. Everything is preallocated in newShard; the replay loop
+// itself performs no allocation.
+type shard struct {
+	mix      []resolved
+	requests int64
+
+	devices  []device
+	clients  int
+	windowUS float64
+	batchMax int
+	discount float64
+	thinkUS  float64
+
+	rng prng
+
+	latency       metrics.Histogram
+	perModel      []metrics.Histogram
+	maxUS         int64
+	maxCompletion float64
+	batches       int64
+
+	// closed-loop client heap: parallel arrays, min by (time, id).
+	heapT  []float64
+	heapID []int32
+}
+
+func newShard(rm *Mix, o Options, index int, requests int64) *shard {
+	devices := int(splitRange(int64(o.Devices), index, o.Shards))
+	if devices < 1 {
+		devices = 1
+	}
+	clients := int(splitRange(int64(o.Clients), index, o.Shards))
+	if clients < 1 {
+		clients = 1
+	}
+	sh := &shard{
+		mix:      rm.entries,
+		requests: requests,
+		devices:  make([]device, devices),
+		clients:  clients,
+		windowUS: o.BatchWindowUS,
+		batchMax: o.BatchMax,
+		discount: o.BatchDiscount,
+		thinkUS:  o.ThinkUS,
+		// Decorrelate shard streams: golden-ratio offsets per shard
+		// index, so shard 0 of seed 1 is unrelated to shard 1's stream.
+		rng:      prng(o.Seed + uint64(index+1)*0x9e3779b97f4a7c15),
+		perModel: make([]metrics.Histogram, len(rm.entries)),
+	}
+	for d := range sh.devices {
+		sh.devices[d].batModel = -1
+	}
+	return sh
+}
+
+// prng is splitmix64: fast, full-period, allocation-free, and
+// host-independent — the backbone of the -seed reproducibility
+// contract.
+type prng uint64
+
+func (p *prng) next() uint64 {
+	*p += 0x9e3779b97f4a7c15
+	z := uint64(*p)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// uniform returns a float64 in [0, 1).
+func (p *prng) uniform() float64 {
+	return float64(p.next()>>11) / (1 << 53)
+}
+
+// exp returns a standard-exponential variate.
+func (p *prng) exp() float64 {
+	return -math.Log(1 - p.uniform())
+}
+
+func (sh *shard) uniform() float64 { return sh.rng.uniform() }
+func (sh *shard) exp() float64     { return sh.rng.exp() }
+
+// sample draws a mix entry index by cumulative weight. Mixes are a
+// handful of entries, so a linear scan beats any fancier structure.
+func (sh *shard) sample() int {
+	u := sh.uniform()
+	for i := range sh.mix {
+		if u < sh.mix[i].cum {
+			return i
+		}
+	}
+	return len(sh.mix) - 1
+}
+
+// runOpen replays an open-loop (Poisson) arrival stream at ratePerSec
+// through the shard's devices.
+func (sh *shard) runOpen(ratePerSec float64) {
+	meanGapUS := 1e6 / ratePerSec
+	t := 0.0
+	for i := int64(0); i < sh.requests; i++ {
+		t += sh.exp() * meanGapUS
+		sh.dispatch(sh.sample(), t)
+	}
+	sh.flush()
+}
+
+// dispatch routes one request: join an open same-model batch if one is
+// accepting, otherwise seal the chosen device's open batch and start a
+// new one. The scan is deterministic (lowest joinable index wins; ties
+// on load go to the lowest index).
+func (sh *shard) dispatch(m int, t float64) {
+	if sh.windowUS > 0 {
+		for d := range sh.devices {
+			dev := &sh.devices[d]
+			if dev.batModel == m && dev.batCount < sh.batchMax && t <= dev.batFirst+sh.windowUS {
+				dev.arrivals[dev.batCount] = t
+				dev.batCount++
+				return
+			}
+		}
+	}
+	best, bestLoad := 0, math.Inf(1)
+	for d := range sh.devices {
+		dev := &sh.devices[d]
+		load := dev.busyUntil + sh.openCost(dev)
+		if load < bestLoad {
+			best, bestLoad = d, load
+		}
+	}
+	dev := &sh.devices[best]
+	sh.seal(dev)
+	dev.batModel = m
+	dev.batCount = 1
+	dev.batFirst = t
+	dev.arrivals[0] = t
+	if sh.windowUS == 0 {
+		sh.seal(dev) // no batching: issue immediately
+	}
+}
+
+// openCost estimates the unissued work already promised to a device.
+func (sh *shard) openCost(dev *device) float64 {
+	if dev.batCount == 0 {
+		return 0
+	}
+	svc := sh.mix[dev.batModel].serviceUS
+	return svc * (1 + sh.discount*float64(dev.batCount-1))
+}
+
+// seal issues a device's open batch: it becomes ready when its window
+// closes (or immediately at its last arrival, if it filled), starts
+// when the device frees, and every member completes at batch end.
+func (sh *shard) seal(dev *device) {
+	if dev.batCount == 0 {
+		return
+	}
+	ready := dev.batFirst + sh.windowUS
+	if dev.batCount >= sh.batchMax {
+		ready = dev.arrivals[dev.batCount-1]
+	}
+	start := dev.busyUntil
+	if ready > start {
+		start = ready
+	}
+	svc := sh.mix[dev.batModel].serviceUS
+	end := start + svc*(1+sh.discount*float64(dev.batCount-1))
+	for i := 0; i < dev.batCount; i++ {
+		sh.observe(dev.batModel, end-dev.arrivals[i])
+	}
+	dev.busyUntil = end
+	if end > sh.maxCompletion {
+		sh.maxCompletion = end
+	}
+	sh.batches++
+	dev.batCount = 0
+	dev.batModel = -1
+}
+
+// flush seals every still-open batch at end of stream.
+func (sh *shard) flush() {
+	for d := range sh.devices {
+		sh.seal(&sh.devices[d])
+	}
+}
+
+// observe records one completed request's latency (µs).
+func (sh *shard) observe(m int, latUS float64) {
+	us := int64(latUS)
+	d := time.Duration(us) * time.Microsecond
+	sh.latency.Observe(d)
+	sh.perModel[m].Observe(d)
+	if us > sh.maxUS {
+		sh.maxUS = us
+	}
+}
+
+// runClosed replays a closed loop: sh.clients virtual clients each
+// issue, wait for completion, think, and reissue, until the shard's
+// request quota is spent. Batching does not apply — a closed-loop
+// client has at most one request outstanding, so the window would
+// never coalesce anything (the window is an open-loop construct).
+func (sh *shard) runClosed() {
+	k := sh.clients
+	if sh.heapT == nil {
+		sh.heapT = make([]float64, 0, k)
+		sh.heapID = make([]int32, 0, k)
+	}
+	for i := 0; i < k; i++ {
+		sh.heapPush(0, int32(i))
+	}
+	for i := int64(0); i < sh.requests; i++ {
+		t, id := sh.heapPop()
+		m := sh.sample()
+		best, bestBusy := 0, math.Inf(1)
+		for d := range sh.devices {
+			if b := sh.devices[d].busyUntil; b < bestBusy {
+				best, bestBusy = d, b
+			}
+		}
+		dev := &sh.devices[best]
+		start := dev.busyUntil
+		if t > start {
+			start = t
+		}
+		end := start + sh.mix[m].serviceUS
+		sh.observe(m, end-t)
+		dev.busyUntil = end
+		if end > sh.maxCompletion {
+			sh.maxCompletion = end
+		}
+		next := end
+		if sh.thinkUS > 0 {
+			next += sh.exp() * sh.thinkUS
+		}
+		sh.heapPush(next, id)
+	}
+}
+
+// heapPush/heapPop implement a binary min-heap over (time, client id)
+// on preallocated parallel slices — deterministic tie-break by id,
+// no interfaces, no allocation after warm-up.
+func (sh *shard) heapPush(t float64, id int32) {
+	sh.heapT = append(sh.heapT, t)
+	sh.heapID = append(sh.heapID, id)
+	i := len(sh.heapT) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !heapLess(sh.heapT[i], sh.heapID[i], sh.heapT[p], sh.heapID[p]) {
+			break
+		}
+		sh.heapSwap(i, p)
+		i = p
+	}
+}
+
+func (sh *shard) heapPop() (float64, int32) {
+	t, id := sh.heapT[0], sh.heapID[0]
+	last := len(sh.heapT) - 1
+	sh.heapSwap(0, last)
+	sh.heapT = sh.heapT[:last]
+	sh.heapID = sh.heapID[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < last && heapLess(sh.heapT[l], sh.heapID[l], sh.heapT[min], sh.heapID[min]) {
+			min = l
+		}
+		if r < last && heapLess(sh.heapT[r], sh.heapID[r], sh.heapT[min], sh.heapID[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		sh.heapSwap(i, min)
+		i = min
+	}
+	return t, id
+}
+
+func (sh *shard) heapSwap(i, j int) {
+	sh.heapT[i], sh.heapT[j] = sh.heapT[j], sh.heapT[i]
+	sh.heapID[i], sh.heapID[j] = sh.heapID[j], sh.heapID[i]
+}
+
+func heapLess(t1 float64, id1 int32, t2 float64, id2 int32) bool {
+	if t1 != t2 {
+		return t1 < t2
+	}
+	return id1 < id2
+}
+
+// round3 keeps report floats stable and readable: 3 decimal places is
+// beyond the model's fidelity but well within float64 exactness.
+func round3(v float64) float64 {
+	return math.Round(v*1000) / 1000
+}

@@ -1,0 +1,176 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/metrics"
+)
+
+// Report is a load-generation run's full result: one Point per offered
+// load. In replay mode it is a pure function of (mix, Options) — no
+// wall-clock fields — so equal seeds marshal byte-identically.
+type Report struct {
+	// Mode is "replay" (virtual-time, in-process) or "live" (wall
+	// clock against a -serve endpoint).
+	Mode string
+	// Target is the live endpoint URL (empty in replay mode).
+	Target  string `json:",omitempty"`
+	Arrival string
+	Seed    uint64
+	// Requests is the per-point request count (exact).
+	Requests int64
+	Devices  int `json:",omitempty"`
+	Shards   int `json:",omitempty"`
+	Clients  int `json:",omitempty"`
+	// BatchWindowUS etc. echo the batching model parameters.
+	BatchWindowUS float64 `json:",omitempty"`
+	BatchMax      int     `json:",omitempty"`
+	BatchDiscount float64 `json:",omitempty"`
+	// Mix is the resolved request mix, with each entry's cached
+	// service latency (0 in live mode: the server owns the sims).
+	Mix []MixInfo
+	// CapacityRPS is the estimated saturation throughput of the device
+	// pool under this mix (replay mode).
+	CapacityRPS float64 `json:",omitempty"`
+	Points      []Point
+}
+
+// MixInfo is one resolved mix entry as reported.
+type MixInfo struct {
+	Model     string
+	Config    string
+	Cores     int
+	Weight    float64
+	ServiceUS float64 `json:",omitempty"`
+}
+
+// Point is one offered-load measurement.
+type Point struct {
+	// OfferedRPS is the arrival intensity (0 for closed loops, where
+	// load is set by the client population instead).
+	OfferedRPS float64 `json:",omitempty"`
+	// Requests is the number of requests measured at this point.
+	Requests int64
+	// MakespanUS is the virtual (replay) or wall (live) time from the
+	// first arrival to the last completion.
+	MakespanUS  float64
+	AchievedRPS float64
+	Latency     LatencySummary
+	PerModel    []ModelPoint `json:",omitempty"`
+	// Batches counts issued batches and MeanBatch the requests per
+	// batch; both omitted when the batching window is off.
+	Batches   int64   `json:",omitempty"`
+	MeanBatch float64 `json:",omitempty"`
+	// Failed counts non-200 responses (live mode only).
+	Failed int64 `json:",omitempty"`
+}
+
+// ModelPoint is one model's slice of a Point.
+type ModelPoint struct {
+	Model   string
+	Config  string `json:",omitempty"`
+	Latency LatencySummary
+}
+
+// LatencySummary is the percentile block every Point carries.
+type LatencySummary struct {
+	Count  int64
+	MeanUS int64
+	P50US  int64
+	P90US  int64
+	P99US  int64
+	P999US int64
+	MaxUS  int64 `json:",omitempty"`
+}
+
+// summarize folds a merged distribution (plus an exact max, when
+// tracked) into the report form.
+func summarize(d metrics.Dist, maxUS int64) LatencySummary {
+	s := d.Snapshot()
+	return LatencySummary{
+		Count:  s.Count,
+		MeanUS: s.MeanUS,
+		P50US:  s.P50US,
+		P90US:  s.P90US,
+		P99US:  s.P99US,
+		P999US: s.P999US,
+		MaxUS:  maxUS,
+	}
+}
+
+func newReport(mode string, rm *Mix, o Options) *Report {
+	rep := &Report{
+		Mode:     mode,
+		Arrival:  o.Arrival,
+		Seed:     o.Seed,
+		Requests: o.Requests,
+		Devices:  o.Devices,
+		Shards:   o.Shards,
+	}
+	if o.Arrival == ArrivalClosed {
+		rep.Clients = o.Clients
+	}
+	if o.BatchWindowUS > 0 {
+		rep.BatchWindowUS = o.BatchWindowUS
+		rep.BatchMax = o.BatchMax
+		rep.BatchDiscount = o.BatchDiscount
+	}
+	if rm != nil {
+		for _, e := range rm.entries {
+			rep.Mix = append(rep.Mix, MixInfo{
+				Model:     e.Model,
+				Config:    e.Config,
+				Cores:     e.Cores,
+				Weight:    round3(e.prob),
+				ServiceUS: round3(e.serviceUS),
+			})
+		}
+		rep.CapacityRPS = round3(rm.CapacityRPS(o.Devices))
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON. The encoding is
+// deterministic, so replay reports with equal seeds are byte-identical.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV writes one row per load point: the throughput-vs-offered-
+// load and tail-latency curve in spreadsheet form.
+func (r *Report) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "offered_rps,requests,achieved_rps,makespan_us,mean_us,p50_us,p90_us,p99_us,p999_us,max_us,batches,failed"); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		l := p.Latency
+		if _, err := fmt.Fprintf(w, "%g,%d,%g,%g,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			p.OfferedRPS, p.Requests, p.AchievedRPS, p.MakespanUS,
+			l.MeanUS, l.P50US, l.P90US, l.P99US, l.P999US, l.MaxUS,
+			p.Batches, p.Failed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTable renders the human summary: the curve npuload prints.
+func (r *Report) WriteTable(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "offered_rps\tachieved_rps\trequests\tp50_us\tp90_us\tp99_us\tp99.9_us\tmax_us\n")
+	for _, p := range r.Points {
+		l := p.Latency
+		offered := fmt.Sprintf("%.0f", p.OfferedRPS)
+		if p.OfferedRPS == 0 {
+			offered = "closed"
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			offered, p.AchievedRPS, p.Requests, l.P50US, l.P90US, l.P99US, l.P999US, l.MaxUS)
+	}
+	return tw.Flush()
+}

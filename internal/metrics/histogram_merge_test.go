@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestHistogramMergeExact: per-shard histograms combined with Merge
+// report exactly the quantiles of one histogram fed every observation.
+func TestHistogramMergeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const shards, per = 8, 500
+
+	var single Histogram
+	shard := make([]*Histogram, shards)
+	for s := range shard {
+		shard[s] = &Histogram{}
+		for i := 0; i < per; i++ {
+			d := time.Duration(rng.Intn(5_000_000)) * time.Microsecond
+			single.Observe(d)
+			shard[s].Observe(d)
+		}
+	}
+	var merged Histogram
+	for _, h := range shard {
+		merged.Merge(h)
+	}
+	if merged.Count() != single.Count() {
+		t.Fatalf("merged count %d, want %d", merged.Count(), single.Count())
+	}
+	if merged.Mean() != single.Mean() {
+		t.Fatalf("merged mean %v, want %v", merged.Mean(), single.Mean())
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 0.999, 1} {
+		if got, want := merged.Quantile(q), single.Quantile(q); got != want {
+			t.Errorf("q=%v: merged %v, single %v", q, got, want)
+		}
+	}
+	if merged.Snapshot() != single.Snapshot() {
+		t.Errorf("snapshots differ: %+v vs %+v", merged.Snapshot(), single.Snapshot())
+	}
+}
+
+// TestDistMergeExact: the snapshot-level Dist form merges exactly too,
+// and agrees with the live histogram it was captured from.
+func TestDistMergeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const shards, per = 5, 400
+
+	var single Histogram
+	var merged Dist
+	for s := 0; s < shards; s++ {
+		var d Dist
+		for i := 0; i < per; i++ {
+			us := int64(rng.Intn(3_000_000))
+			single.Observe(time.Duration(us) * time.Microsecond)
+			d.Observe(us)
+		}
+		merged.Merge(&d)
+	}
+	if merged.Count() != single.Count() {
+		t.Fatalf("merged count %d, want %d", merged.Count(), single.Count())
+	}
+	want := single.Dist()
+	if merged != want {
+		t.Fatalf("merged Dist differs from live capture")
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		if got, w := merged.Quantile(q), single.Quantile(q); got != w {
+			t.Errorf("q=%v: Dist %v, Histogram %v", q, got, w)
+		}
+	}
+	if merged.Snapshot() != single.Snapshot() {
+		t.Errorf("snapshots differ: %+v vs %+v", merged.Snapshot(), single.Snapshot())
+	}
+}
+
+// TestDistNegativeObserve: negative inputs clamp to 0 like Observe.
+func TestDistNegativeObserve(t *testing.T) {
+	var d Dist
+	d.Observe(-5)
+	if d.N != 1 || d.SumUS != 0 || d.Counts[0] != 1 {
+		t.Fatalf("negative observation not clamped: %+v", d)
+	}
+}

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestQuantilePropertyMonotone: on random inputs the quantiles are
+// monotone in q — p50 <= p90 <= p99 <= p99.9, and generally any
+// increasing sequence of q values yields a non-decreasing sequence.
+func TestQuantilePropertyMonotone(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		var h Histogram
+		n := 1 + rng.Intn(2000)
+		for i := 0; i < n; i++ {
+			// Log-uniform over ~6 decades, the shape of real latency data.
+			us := math.Exp(rng.Float64() * math.Log(1e6))
+			h.Observe(time.Duration(us) * time.Microsecond)
+		}
+		prev := time.Duration(-1)
+		for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1} {
+			v := h.Quantile(q)
+			if v < prev {
+				t.Fatalf("trial %d: quantile %v = %v below previous %v", trial, q, v, prev)
+			}
+			prev = v
+		}
+		s := h.Snapshot()
+		if s.P50US > s.P90US || s.P90US > s.P99US || s.P99US > s.P999US {
+			t.Fatalf("trial %d: snapshot not monotone: %+v", trial, s)
+		}
+	}
+}
+
+// TestQuantilePropertySqrt2: the reported quantile is within a factor
+// of sqrt(2) of the true order statistic on random inputs (with 1 µs
+// of slack for integer truncation at the bucket edges).
+func TestQuantilePropertySqrt2(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		var h Histogram
+		n := 1 + rng.Intn(3000)
+		obs := make([]int64, n)
+		for i := range obs {
+			var us int64
+			switch rng.Intn(3) {
+			case 0: // uniform small
+				us = int64(rng.Intn(1000))
+			case 1: // log-uniform wide
+				us = int64(math.Exp(rng.Float64() * math.Log(1e8)))
+			default: // heavy repeats
+				us = int64(1 << uint(rng.Intn(20)))
+			}
+			obs[i] = us
+			h.Observe(time.Duration(us) * time.Microsecond)
+		}
+		sort.Slice(obs, func(i, j int) bool { return obs[i] < obs[j] })
+		for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 0.999, 1} {
+			rank := int64(q * float64(n-1))
+			truth := float64(obs[rank])
+			got := float64(h.Quantile(q).Microseconds())
+			lo := truth/math.Sqrt2 - 1
+			hi := truth*math.Sqrt2 + 1
+			if got < lo || got > hi {
+				t.Errorf("trial %d q=%v: got %v µs, true order statistic %v µs (allowed [%v, %v])",
+					trial, q, got, truth, lo, hi)
+			}
+		}
+	}
+}
+
+// TestQuantileEdges: the 0/empty edge cases are exact.
+func TestQuantileEdges(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0) != 0 || h.Quantile(0.5) != 0 || h.Quantile(1) != 0 {
+		t.Fatal("empty histogram must report 0 at every quantile")
+	}
+	var d Dist
+	if d.Quantile(0.5) != 0 {
+		t.Fatal("empty Dist must report 0")
+	}
+
+	// All-zero observations stay exactly 0 at every quantile.
+	for i := 0; i < 10; i++ {
+		h.Observe(0)
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := h.Quantile(q); v != 0 {
+			t.Fatalf("all-zero observations: quantile %v = %v, want 0", q, v)
+		}
+	}
+
+	// Out-of-range q clamps rather than panics.
+	h.Observe(100 * time.Microsecond)
+	if h.Quantile(-1) != h.Quantile(0) {
+		t.Error("q < 0 should clamp to 0")
+	}
+	if h.Quantile(2) != h.Quantile(1) {
+		t.Error("q > 1 should clamp to 1")
+	}
+}

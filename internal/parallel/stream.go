@@ -1,0 +1,127 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+)
+
+// Stream runs an unbounded work stream through the worker pool: the
+// producer emits values into a bounded channel and Workers() consumers
+// drain it concurrently. It is the streaming sibling of ForEach for
+// work whose size is not known up front — a load generator's request
+// stream, a service's admission feed — where ForEach's fixed-n shape
+// does not fit. buffer bounds the number of emitted-but-unconsumed
+// items (<= 0 uses 2×Workers()), so a slow consumer backpressures the
+// producer instead of ballooning memory.
+//
+// produce runs on the calling goroutine and pushes values with emit;
+// emit returns false once the stream is shutting down (a consumer
+// failed, or ctx was canceled), at which point the producer should
+// return promptly. consume runs on pool goroutines and receives the
+// worker's index in [0, Workers()), so per-worker state — shard
+// histograms, RNGs, HTTP clients — needs no locking.
+//
+// Error contract: a stream has no index space, so unlike ForEach there
+// is no serial-equivalent "lowest failing index". The first consumer
+// error to be observed wins and shuts the stream down; items already
+// emitted but not yet consumed are dropped. Precedence of the returned
+// error: a re-raised panic (producer's or any consumer's), then the
+// first consumer error, then produce's own error, then ctx.Err(). A
+// nil ctx disables cancellation, like ForEachCtx.
+func Stream[T any](ctx context.Context, buffer int, produce func(emit func(T) bool) error, consume func(worker int, v T) error) error {
+	w := Workers()
+	if buffer <= 0 {
+		buffer = 2 * w
+	}
+	ch := make(chan T, buffer)
+	done := make(chan struct{})
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+
+	var (
+		mu        sync.Mutex
+		firstErr  error
+		panicked  any
+		hasPanic  bool
+		closeOnce sync.Once
+	)
+	fail := func(err error, p any, isPanic bool) {
+		mu.Lock()
+		if firstErr == nil && !hasPanic {
+			firstErr, panicked, hasPanic = err, p, isPanic
+		}
+		mu.Unlock()
+		closeOnce.Do(func() { close(done) })
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func(worker int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					fail(nil, r, true)
+				}
+			}()
+			for {
+				select {
+				case <-done:
+					return
+				case <-ctxDone:
+					return
+				case v, ok := <-ch:
+					if !ok {
+						return
+					}
+					if err := consume(worker, v); err != nil {
+						fail(err, nil, false)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	emit := func(v T) bool {
+		select {
+		case ch <- v:
+			return true
+		case <-done:
+			return false
+		case <-ctxDone:
+			return false
+		}
+	}
+	prodErr := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				fail(nil, r, true)
+			}
+		}()
+		return produce(emit)
+	}()
+	close(ch)
+	wg.Wait()
+
+	mu.Lock()
+	err, p, isPanic := firstErr, panicked, hasPanic
+	mu.Unlock()
+	if isPanic {
+		panic(p)
+	}
+	if err != nil {
+		return err
+	}
+	if prodErr != nil {
+		return prodErr
+	}
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStreamAll: every emitted value is consumed exactly once, across
+// serial and parallel pool sizes.
+func TestStreamAll(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		prev := SetWorkers(workers)
+		var sum, count atomic.Int64
+		err := Stream(nil, 8,
+			func(emit func(int) bool) error {
+				for i := 1; i <= 1000; i++ {
+					if !emit(i) {
+						t.Error("emit refused mid-stream with no failure")
+					}
+				}
+				return nil
+			},
+			func(_ int, v int) error {
+				sum.Add(int64(v))
+				count.Add(1)
+				return nil
+			})
+		SetWorkers(prev)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if count.Load() != 1000 || sum.Load() != 500500 {
+			t.Fatalf("workers=%d: consumed %d values, sum %d", workers, count.Load(), sum.Load())
+		}
+	}
+}
+
+// TestStreamWorkerIndex: consumers see stable worker indexes in
+// [0, Workers()), so per-worker state needs no locking.
+func TestStreamWorkerIndex(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	perWorker := make([]int64, 4) // one slot per worker, no atomics needed
+	err := Stream(nil, 4,
+		func(emit func(int) bool) error {
+			for i := 0; i < 400; i++ {
+				emit(i)
+			}
+			return nil
+		},
+		func(worker int, _ int) error {
+			if worker < 0 || worker >= 4 {
+				t.Errorf("worker index %d out of range", worker)
+			}
+			perWorker[worker]++
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, n := range perWorker {
+		total += n
+	}
+	if total != 400 {
+		t.Fatalf("consumed %d, want 400", total)
+	}
+}
+
+// TestStreamConsumerError: a consumer error shuts the stream down —
+// emit starts refusing, and the error is returned.
+func TestStreamConsumerError(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	boom := errors.New("boom")
+	refused := false
+	err := Stream(nil, 1,
+		func(emit func(int) bool) error {
+			for i := 0; ; i++ {
+				if !emit(i) {
+					refused = true
+					return nil
+				}
+			}
+		},
+		func(_ int, v int) error {
+			if v == 10 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if !refused {
+		t.Fatal("producer was never told to stop")
+	}
+}
+
+// TestStreamProducerError: the producer's own error is returned once
+// the already-emitted items have drained.
+func TestStreamProducerError(t *testing.T) {
+	prev := SetWorkers(2)
+	defer SetWorkers(prev)
+	boom := errors.New("dry")
+	var consumed atomic.Int64
+	err := Stream(nil, 4,
+		func(emit func(int) bool) error {
+			for i := 0; i < 5; i++ {
+				emit(i)
+			}
+			return boom
+		},
+		func(_ int, _ int) error {
+			consumed.Add(1)
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want dry", err)
+	}
+	if consumed.Load() != 5 {
+		t.Fatalf("consumed %d, want all 5 emitted before the producer error", consumed.Load())
+	}
+}
+
+// TestStreamPanic: a consumer panic is re-raised on the caller.
+func TestStreamPanic(t *testing.T) {
+	prev := SetWorkers(2)
+	defer SetWorkers(prev)
+	defer func() {
+		if r := recover(); r != "kaboom" {
+			t.Fatalf("recovered %v, want kaboom", r)
+		}
+	}()
+	Stream(nil, 1,
+		func(emit func(int) bool) error {
+			for i := 0; i < 100 && emit(i); i++ {
+			}
+			return nil
+		},
+		func(_ int, v int) error {
+			if v == 3 {
+				panic("kaboom")
+			}
+			return nil
+		})
+	t.Fatal("panic was not re-raised")
+}
+
+// TestStreamCancel: canceling the context stops the producer and
+// returns ctx.Err().
+func TestStreamCancel(t *testing.T) {
+	prev := SetWorkers(2)
+	defer SetWorkers(prev)
+	ctx, cancel := context.WithCancel(context.Background())
+	var consumed atomic.Int64
+	err := Stream(ctx, 1,
+		func(emit func(int) bool) error {
+			for i := 0; ; i++ {
+				if i == 50 {
+					cancel()
+				}
+				if !emit(i) {
+					return nil
+				}
+			}
+		},
+		func(_ int, _ int) error {
+			consumed.Add(1)
+			return nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if consumed.Load() > 60 {
+		t.Fatalf("consumed %d items after cancellation", consumed.Load())
+	}
+}
+
+// TestStreamBackpressure: the buffer bounds emitted-but-unconsumed
+// items, so a paused consumer blocks the producer at buffer depth.
+func TestStreamBackpressure(t *testing.T) {
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	gate := make(chan struct{})
+	var maxPending atomic.Int64
+	var pending atomic.Int64
+	err := Stream(nil, 2,
+		func(emit func(int) bool) error {
+			for i := 0; i < 20; i++ {
+				if i == 3 {
+					// The producer is now 3 ahead (1 consumed-but-held +
+					// 2 buffered); release the worker before emit blocks.
+					close(gate)
+				}
+				pending.Add(1)
+				if p := pending.Load(); p > maxPending.Load() {
+					maxPending.Store(p)
+				}
+				emit(i)
+			}
+			return nil
+		},
+		func(_ int, v int) error {
+			if v == 0 {
+				<-gate // hold the single worker until released
+			}
+			pending.Add(-1)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 buffered + 1 in the consumer's hands + 1 blocked in emit.
+	if m := maxPending.Load(); m > 4 {
+		t.Fatalf("producer ran %d ahead of the consumer, want <= 4", m)
+	}
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterUnified: every shedding path — the drain 503s on /run
+// and /readyz, and the queue-full 429 — carries a Retry-After header
+// produced by the one retryAfterSeconds helper, so the advertised
+// backoff is consistent across paths.
+func TestRetryAfterUnified(t *testing.T) {
+	s := New(Options{Concurrency: 1, Queue: 1})
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	s.beforeExecute = func(*RunRequest) {
+		started <- struct{}{}
+		<-release
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer close(release)
+
+	// Fill the slot and the queue seat.
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := ts.Client().Post(ts.URL+"/run", "application/json",
+				strings.NewReader(`{"Model":"MobileNetV2"}`))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	<-started
+	waitFor(t, time.Second, func() bool { return s.queued.Load() == 2 })
+
+	// Queue-full 429 advertises the helper's value.
+	resp, err := ts.Client().Post(ts.URL+"/run", "application/json",
+		strings.NewReader(`{"Model":"MobileNetV2"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	want := strconv.Itoa(s.retryAfterSeconds())
+	if got := resp.Header.Get("Retry-After"); got != want {
+		t.Errorf("429 Retry-After = %q, want helper value %q", got, want)
+	}
+
+	// Drain: /readyz and /run both 503 with the same helper value.
+	go s.Shutdown(context.Background())
+	waitFor(t, time.Second, func() bool { return s.Draining() })
+
+	resp, err = ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz status %d, want 503", resp.StatusCode)
+	}
+	want = strconv.Itoa(s.retryAfterSeconds())
+	if got := resp.Header.Get("Retry-After"); got != want {
+		t.Errorf("readyz Retry-After = %q, want helper value %q", got, want)
+	}
+
+	resp, err = ts.Client().Post(ts.URL+"/run", "application/json",
+		strings.NewReader(`{"Model":"MobileNetV2"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /run status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != want {
+		t.Errorf("draining /run Retry-After = %q, want helper value %q", got, want)
+	}
+}
+
+// TestRetryAfterSeconds pins the helper's formula: the 1-second floor
+// with no history, backlog-scaled estimates once latency is observed,
+// and the 30-second cap.
+func TestRetryAfterSeconds(t *testing.T) {
+	s := New(Options{Concurrency: 2, Queue: 2})
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Errorf("no history: %d, want 1", got)
+	}
+
+	// Mean latency 3s, backlog 4 over concurrency 2 → 2 waves → 6s.
+	for i := 0; i < 10; i++ {
+		s.latency.Observe(3 * time.Second)
+	}
+	s.queued.Store(4)
+	if got := s.retryAfterSeconds(); got != 6 {
+		t.Errorf("backlog estimate: %d, want 6", got)
+	}
+
+	// Empty backlog still advertises one wave.
+	s.queued.Store(0)
+	if got := s.retryAfterSeconds(); got != 3 {
+		t.Errorf("idle estimate: %d, want 3", got)
+	}
+
+	// Enormous backlog clamps to 30s.
+	s.queued.Store(1000)
+	if got := s.retryAfterSeconds(); got != 30 {
+		t.Errorf("clamp: %d, want 30", got)
+	}
+}

@@ -283,12 +283,39 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
 	w.WriteHeader(http.StatusOK)
 	io.WriteString(w, "ready\n")
+}
+
+// retryAfterSeconds is the single source of the Retry-After header for
+// every shedding path — the drain 503s (/run and /readyz) and the
+// queue-full 429s: the estimated time for the current backlog to drain
+// through the executing slots, from the observed mean request latency,
+// rounded up to whole seconds and clamped to [1, 30]. With no latency
+// history yet the estimate is the 1-second floor.
+func (s *Server) retryAfterSeconds() int {
+	mean := s.latency.Mean()
+	if mean <= 0 {
+		return 1
+	}
+	backlog := s.queued.Load()
+	conc := int64(s.opts.Concurrency)
+	waves := (backlog + conc - 1) / conc
+	if waves < 1 {
+		waves = 1
+	}
+	secs := int((time.Duration(waves)*mean + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -315,7 +342,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		s.rejected.Add(1)
 		writeErr(s, w, http.StatusServiceUnavailable, "draining",
-			errors.New("server is draining"), true, 1)
+			errors.New("server is draining"), true, s.retryAfterSeconds())
 		return
 	}
 
@@ -328,7 +355,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.rejected.Add(1)
 		writeErr(s, w, http.StatusTooManyRequests, "queue_full",
 			fmt.Errorf("admission queue full (%d executing + %d queued)",
-				s.opts.Concurrency, s.opts.Queue), true, 1)
+				s.opts.Concurrency, s.opts.Queue), true, s.retryAfterSeconds())
 		return
 	}
 	defer s.queued.Add(-1)
@@ -359,7 +386,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	case <-s.drainCh:
 		s.rejected.Add(1)
 		writeErr(s, w, http.StatusServiceUnavailable, "draining",
-			errors.New("server is draining"), true, 1)
+			errors.New("server is draining"), true, s.retryAfterSeconds())
 		return
 	}
 	s.accepted.Add(1)
