@@ -7,6 +7,7 @@
 //	npubench -experiment fig11    # one experiment
 //	npubench -experiment table4
 //	npubench -bench-json BENCH_sim.json -bench-time 200ms
+//	npubench -experiment dse -dse-seed 1 -dse-json BENCH_dse.json
 //	npubench -experiment fig11 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -21,6 +22,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/dse"
 	"repro/internal/experiments"
 	"repro/internal/parallel"
 )
@@ -35,12 +37,20 @@ func fatal(prefix string, err error) {
 }
 
 func main() {
-	which := flag.String("experiment", "all", "fig11, fig12, table1, table2, table4, table5, ablation, concurrent, faults, loadgen, metrics, spm, or all")
+	which := flag.String("experiment", "all", "fig11, fig12, table1, table2, table4, table5, ablation, concurrent, dse, faults, loadgen, metrics, spm, or all")
 	metricsOnly := flag.Bool("metrics", false, "print the Figure-10-style utilization table for the Table 2 nets (alias for -experiment metrics)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for compile/simulate sweeps (1 forces serial)")
 	benchJSON := flag.String("bench-json", "", "A/B-benchmark the event simulator engine against the reference engine, write the report to this file, and exit")
 	benchTime := flag.Duration("bench-time", time.Second, "per-measurement duration for -bench-json")
 	loadgenJSON := flag.String("loadgen-json", "BENCH_loadgen.json", "output file for the -experiment loadgen fleet-replay report")
+	dseJSON := flag.String("dse-json", "BENCH_dse.json", "output file for the -experiment dse schedule-search report")
+	dseModels := flag.String("dse-models", "", "comma-separated models for -experiment dse (empty = all Table 2)")
+	dseSeed := flag.Uint64("dse-seed", 1, "seed for the -experiment dse search (same seed, byte-identical report modulo wall-clock)")
+	dseBase := flag.String("dse-base", "stratum", "heuristic baseline configuration the dse search must beat: base, halo, stratum")
+	dseRestarts := flag.Int("dse-restarts", 0, "dse hill-climbing restarts (0 = default)")
+	dseIters := flag.Int("dse-iters", 0, "dse generations per restart (0 = default)")
+	dseBeam := flag.Int("dse-beam", 0, "dse beam width (0 = default)")
+	dseNeighbors := flag.Int("dse-neighbors", 0, "dse perturbations per beam genome per generation (0 = default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	strictSPM := flag.Bool("strict-spm", true, "fail experiments on SPM overflow in the simulator; =false tolerates over-budget schedules")
@@ -168,6 +178,21 @@ func main() {
 	})
 	run("loadgen", func() error {
 		return runLoadgen(os.Stdout, *loadgenJSON)
+	})
+	run("dse", func() error {
+		return runDSE(os.Stdout, dseParams{
+			json:    *dseJSON,
+			models:  *dseModels,
+			seed:    *dseSeed,
+			jobs:    *jobs,
+			baseCfg: *dseBase,
+			params: dse.Params{
+				Restarts:  *dseRestarts,
+				Iters:     *dseIters,
+				Beam:      *dseBeam,
+				Neighbors: *dseNeighbors,
+			},
+		})
 	})
 	run("metrics", func() error {
 		for _, opt := range []core.Options{core.Base(), core.Stratum()} {

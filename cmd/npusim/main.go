@@ -10,6 +10,7 @@
 //	npusim -model MobileNetV2 -gantt 120
 //	npusim -model UNet -trace unet.json   # open in chrome://tracing
 //	npusim -model TinyCNN -faults "drop=0.02,kill=2@400000" -fault-seed 7
+//	npusim -model MobileNetV2 -dse -dse-seed 7   # search schedules beyond h1-h8
 //	npusim -serve :8080                   # POST /run, GET /healthz /readyz /stats
 package main
 
@@ -29,6 +30,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/dse"
 	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/metrics"
@@ -65,6 +67,12 @@ func main() {
 	mem := flag.Bool("mem", false, "profile SPM occupancy per core")
 	metricsFlag := flag.Bool("metrics", false, "print the structured utilization report (event engine only)")
 	metricsOut := flag.String("metrics-out", "", "write the structured metrics report as JSON to this file (event engine only)")
+	dseFlag := flag.Bool("dse", false, "run the schedule design-space explorer on the model instead of a one-shot simulation; -config is the heuristic baseline to beat")
+	dseSeed := flag.Uint64("dse-seed", 1, "seed for the -dse search (same seed, same result at any -j)")
+	dseRestarts := flag.Int("dse-restarts", 0, "-dse hill-climbing restarts (0 = default)")
+	dseIters := flag.Int("dse-iters", 0, "-dse generations per restart (0 = default)")
+	dseBeam := flag.Int("dse-beam", 0, "-dse beam width (0 = default)")
+	dseNeighbors := flag.Int("dse-neighbors", 0, "-dse perturbations per beam genome per generation (0 = default)")
 	faults := flag.String("faults", "", `fault spec, e.g. "drop=0.02,throttle=1@50000x0.5,kill=2@400000"`)
 	faultSeed := flag.Uint64("fault-seed", 0, "seed for probabilistic fault decisions")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for partition planning and reference kernels (1 forces serial)")
@@ -128,6 +136,18 @@ func main() {
 	opt.Partitioning, err = cliutil.Mode(*mode)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *dseFlag {
+		runDSE(g, a, opt, dse.Params{
+			Seed:      *dseSeed,
+			Restarts:  *dseRestarts,
+			Iters:     *dseIters,
+			Beam:      *dseBeam,
+			Neighbors: *dseNeighbors,
+			Sim:       sim.Config{NoSPMCheck: noSPMCheck},
+		})
+		return
 	}
 
 	res, err := core.Compile(g, a, opt)
@@ -202,6 +222,32 @@ func main() {
 		}
 		fmt.Printf("trace written to %s (open in chrome://tracing)\n", *traceOut)
 	}
+}
+
+// runDSE searches the joint schedule design space (per-layer
+// partitioning method, stratum fusion boundaries, per-core weight
+// scales) for a schedule faster than the heuristic baseline opt, and
+// prints what it found. The winning schedule is admission-checked and
+// verified bit-identical across both simulator engines by the
+// explorer itself.
+func runDSE(g *graph.Graph, a *arch.Arch, opt core.Options, p dse.Params) {
+	t0 := time.Now()
+	r, err := dse.Explore(nil, g, a, opt, p)
+	if err != nil {
+		fatal(err)
+	}
+	clock := a.ClockMHz
+	fmt.Printf("%s on %s: DSE over %s baseline (seed %d)\n", g.Name, a.Name, opt.Name(), r.Seed)
+	fmt.Printf("  baseline %.1f us (%.0f cycles)\n", r.BaselineCycles/float64(clock), r.BaselineCycles)
+	fmt.Printf("  best     %.1f us (%.0f cycles), %.2f%% faster\n",
+		r.BestCycles/float64(clock), r.BestCycles, r.ImprovementPct)
+	mm, bb, ss := r.Best.Overrides()
+	fmt.Printf("  genome: %d method, %d boundary, %d scale overrides; fallback %s\n",
+		mm, bb, ss, r.BestFallback)
+	fmt.Printf("  %d points evaluated (%d revisits deduped, %d infeasible), compile cache %d hits / %d misses\n",
+		r.Points, r.Revisits, r.Infeasible, r.CacheHits, r.CacheMisses)
+	fmt.Printf("  engines bit-identical on winner: %v; wall %v at -j %d\n",
+		r.EngineMatch, time.Since(t0).Round(time.Millisecond), parallel.Workers())
 }
 
 // runFaulted simulates under a fault plan and, when a core dies,

@@ -14,6 +14,7 @@
 package autotune
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/arch"
@@ -65,19 +66,36 @@ type eval struct {
 // AutoBalance runs up to iters profile-and-rebalance iterations
 // (iters >= 1; the first iteration is the unscaled compile).
 func AutoBalance(g *graph.Graph, a *arch.Arch, opt core.Options, iters int) (*Result, error) {
+	return AutoBalanceCtx(nil, g, a, opt, iters, sim.Config{})
+}
+
+// AutoBalanceCtx is AutoBalance with cooperative cancellation and a
+// caller-supplied simulator configuration. Candidate compiles go
+// through the fingerprint-keyed compile cache, so a sweep that
+// revisits a scale vector (or an outer search, like the design-space
+// explorer, that re-evaluates the unscaled point) costs a cache hit.
+// ctx threads into both the compile (core.CompileCachedCtx) and the
+// simulation (cfg.Ctx), so a deadline cuts the tuning loop short like
+// every other sweep; cfg otherwise passes through unchanged (hooks,
+// trace, SPM-check policy).
+func AutoBalanceCtx(ctx context.Context, g *graph.Graph, a *arch.Arch, opt core.Options, iters int, cfg sim.Config) (*Result, error) {
 	if iters < 1 {
 		iters = 1
 	}
 	n := a.NumCores()
 
-	evalOne := func(scale []float64) (eval, error) {
+	evalOne := func(ctx context.Context, scale []float64) (eval, error) {
 		o := opt
 		o.WeightScale = append([]float64(nil), scale...)
-		res, err := core.Compile(g, a, o)
+		res, err := core.CompileCachedCtx(ctx, g, a, o)
 		if err != nil {
 			return eval{}, err
 		}
-		out, err := sim.Run(res.Program, sim.Config{})
+		runCfg := cfg
+		if runCfg.Ctx == nil {
+			runCfg.Ctx = ctx
+		}
+		out, err := sim.Run(res.Program, runCfg)
 		if err != nil {
 			return eval{}, err
 		}
@@ -99,7 +117,7 @@ func AutoBalance(g *graph.Graph, a *arch.Arch, opt core.Options, iters int) (*Re
 	for i := range scale {
 		scale[i] = 1
 	}
-	cur, err := evalOne(scale)
+	cur, err := evalOne(ctx, scale)
 	if err != nil {
 		return nil, err
 	}
@@ -127,8 +145,8 @@ func AutoBalance(g *graph.Graph, a *arch.Arch, opt core.Options, iters int) (*Re
 			}
 			cands[ci] = s
 		}
-		evals, err := parallel.Map(len(cands), func(i int) (eval, error) {
-			return evalOne(cands[i])
+		evals, err := parallel.MapCtx(ctx, len(cands), func(ctx context.Context, i int) (eval, error) {
+			return evalOne(ctx, cands[i])
 		})
 		if err != nil {
 			return nil, err

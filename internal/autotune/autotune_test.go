@@ -1,11 +1,14 @@
 package autotune
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/models"
+	"repro/internal/sim"
 )
 
 func TestAutoBalanceNeverWorse(t *testing.T) {
@@ -63,5 +66,46 @@ func TestAutoBalanceSingleIteration(t *testing.T) {
 	}
 	if len(res.Steps) != 1 {
 		t.Errorf("steps = %d, want 1", len(res.Steps))
+	}
+}
+
+// TestAutoBalanceCompileCacheHits pins that candidate evaluation goes
+// through the fingerprint-keyed compile cache: repeating a sweep
+// recompiles nothing (every point is a hit), so an outer search — the
+// design-space explorer — can re-evaluate scale vectors for free.
+func TestAutoBalanceCompileCacheHits(t *testing.T) {
+	g := models.TinyCNN()
+	a := arch.Exynos2100Like()
+	core.ResetCache()
+
+	if _, err := AutoBalanceCtx(context.Background(), g, a, core.Halo(), 3, sim.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	hits1, misses1 := core.CacheStats()
+	if misses1 == 0 {
+		t.Fatal("first sweep compiled nothing")
+	}
+
+	if _, err := AutoBalanceCtx(context.Background(), g, a, core.Halo(), 3, sim.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	hits2, misses2 := core.CacheStats()
+	if misses2 != misses1 {
+		t.Errorf("second sweep missed the cache: %d new compiles", misses2-misses1)
+	}
+	if hits2 <= hits1 {
+		t.Errorf("second sweep recorded no cache hits (%d -> %d)", hits1, hits2)
+	}
+}
+
+// TestAutoBalanceCtxCancelled pins cooperative cancellation: an
+// already-cancelled context aborts the sweep with the context's error.
+func TestAutoBalanceCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	core.ResetCache() // a cached compile would skip the ctx check
+	_, err := AutoBalanceCtx(ctx, models.TinyCNN(), arch.Exynos2100Like(), core.Base(), 2, sim.Config{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

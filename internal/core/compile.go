@@ -191,6 +191,7 @@ func compileOnce(ctx context.Context, g *graph.Graph, a *arch.Arch, opt Options,
 	part := partition.New(g, a)
 	part.Mode = opt.Partitioning
 	part.WeightScale = opt.WeightScale
+	part.Force = opt.ForceMethods
 	plans, err := part.PlanAllCtx(ctx)
 	if err != nil {
 		return nil, &compileCanceled{cause: err}
@@ -224,6 +225,7 @@ func compileOnce(ctx context.Context, g *graph.Graph, a *arch.Arch, opt Options,
 	mark = time.Now()
 	builder := stratum.New(g, a, plans, order)
 	builder.MaxLayers = maxStratum
+	builder.Boundary = opt.StratumBoundary
 	var strata []stratum.Stratum
 	if opt.Stratum && maxStratum != 1 {
 		for _, s := range builder.Build() {

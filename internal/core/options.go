@@ -82,6 +82,18 @@ type Options struct {
 	// feeds measured utilization back through it. Nil means unit
 	// scales.
 	WeightScale []float64
+	// ForceMethods optionally overrides the partitioning method per
+	// layer, indexed by LayerID (the design-space explorer's genome;
+	// see partition.MethodID). MethodAuto entries and overrides the
+	// operator cannot support defer to h1–h5. Only consulted under
+	// Partitioning == partition.Adaptive, so the fallback chain's
+	// forced-channel last resort keeps its capacity guarantee.
+	ForceMethods []partition.MethodID
+	// StratumBoundary optionally overrides stratum accumulation per
+	// layer, indexed by LayerID (see stratum.Boundary): Break forces a
+	// stratum boundary, Fuse merges through the h8 cost cutoff where
+	// h6/h7 legality holds. Nil means all-auto (the paper's h6–h8).
+	StratumBoundary []stratum.Boundary
 }
 
 // Base returns the paper's Base configuration: adaptive partitioning

@@ -1,0 +1,179 @@
+package dse
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/parallel"
+	"repro/internal/sim"
+)
+
+func explore(t *testing.T, p Params) *Result {
+	t.Helper()
+	r, err := Explore(context.Background(), models.TinyCNN(), arch.Exynos2100Like(), core.Stratum(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestExploreBeatsOrMatchesBaseline(t *testing.T) {
+	r := explore(t, Params{Seed: 1})
+	if r.BestCycles > r.BaselineCycles {
+		t.Errorf("best %.0f worse than baseline %.0f", r.BestCycles, r.BaselineCycles)
+	}
+	if !r.EngineMatch {
+		t.Error("winner not verified bit-identical across engines")
+	}
+	if r.Points < 2 {
+		t.Errorf("points = %d: search never left the baseline", r.Points)
+	}
+	if r.Points != len(r.Explored) {
+		t.Errorf("Points %d != len(Explored) %d", r.Points, len(r.Explored))
+	}
+	// The baseline genome must be the first explored point and carry no
+	// overrides, so its Options fingerprint-match the plain config.
+	m, b, s := r.Explored[0].Genome.Overrides()
+	if m+b+s != 0 {
+		t.Errorf("baseline genome has %d/%d/%d overrides", m, b, s)
+	}
+	if r.Explored[0].Cycles != r.BaselineCycles {
+		t.Errorf("first point %.0f != baseline %.0f", r.Explored[0].Cycles, r.BaselineCycles)
+	}
+	// On TinyCNN the default budget reliably finds a strict improvement
+	// (measured 17% at seed 1); regressing to 0 means the moves stopped
+	// working.
+	if r.BestCycles == r.BaselineCycles {
+		t.Errorf("no improvement found on TinyCNN (baseline %.0f)", r.BaselineCycles)
+	}
+}
+
+// TestExploredSchedulesAdmit is the SPM-admission property test: every
+// feasible explored genome must recompile (a cache hit) and pass the
+// simulator's SPM admission check, and the winning genome must simulate
+// bit-identically on the event and reference engines.
+func TestExploredSchedulesAdmit(t *testing.T) {
+	g := models.TinyCNN()
+	a := arch.Exynos2100Like()
+	base := core.Stratum()
+	r, err := Explore(context.Background(), g, a, base, Params{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits0, misses0 := core.CacheStats()
+	for i, e := range r.Explored {
+		if !e.Feasible {
+			continue
+		}
+		cres, err := core.CompileCached(g, a, e.Genome.Options(base))
+		if err != nil {
+			t.Fatalf("explored point %d no longer compiles: %v", i, err)
+		}
+		if _, err := sim.Run(cres.Program, sim.Config{}); err != nil {
+			t.Errorf("explored point %d fails SPM admission: %v", i, err)
+		}
+	}
+	hits1, misses1 := core.CacheStats()
+	if misses1 != misses0 {
+		t.Errorf("re-checking explored points recompiled %d schedules; want all cache hits", misses1-misses0)
+	}
+	if hits1-hits0 < int64(r.Points-r.Infeasible) {
+		t.Errorf("expected >= %d cache hits, got %d", r.Points-r.Infeasible, hits1-hits0)
+	}
+
+	// Winner bit-identity, independently of the in-Explore check.
+	wres, err := core.CompileCached(g, a, r.Best.Options(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := sim.Run(wres.Program, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sim.RunReference(wres.Program, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !statsEqual(&ev.Stats, &ref.Stats) {
+		t.Errorf("winner diverges: event %.0f vs reference %.0f cycles",
+			ev.Stats.TotalCycles, ref.Stats.TotalCycles)
+	}
+	if ev.Stats.TotalCycles != r.BestCycles {
+		t.Errorf("winner re-simulates to %.0f, reported %.0f", ev.Stats.TotalCycles, r.BestCycles)
+	}
+}
+
+// TestExploreDeterministic pins the cross-worker determinism contract:
+// the same seed must produce a byte-identical serialized Result at -j 8
+// and -j 1. The compile cache is reset before each run because the
+// Result embeds the cache-delta counters.
+func TestExploreDeterministic(t *testing.T) {
+	run := func(workers int) []byte {
+		t.Helper()
+		prev := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(prev)
+		core.ResetCache()
+		r := explore(t, Params{Seed: 42})
+		buf, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	j8 := run(8)
+	j1 := run(1)
+	if string(j8) != string(j1) {
+		t.Errorf("same-seed runs diverge across worker counts:\n-j 8: %s\n-j 1: %s", j8, j1)
+	}
+	// And a distinct seed explores a different trajectory (sanity that
+	// the seed actually feeds the search).
+	core.ResetCache()
+	other := explore(t, Params{Seed: 43})
+	var r42 Result
+	if err := json.Unmarshal(j8, &r42); err != nil {
+		t.Fatal(err)
+	}
+	if other.Points == r42.Points && other.BestCycles == r42.BestCycles && other.Revisits == r42.Revisits {
+		t.Logf("seeds 42 and 43 coincide on (points, best, revisits); suspicious but not fatal")
+	}
+}
+
+func TestExploreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	core.ResetCache() // cached compiles would skip the ctx check
+	_, err := Explore(ctx, models.TinyCNN(), arch.Exynos2100Like(), core.Stratum(), Params{Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestGenomeKeyAndOptions(t *testing.T) {
+	g := models.TinyCNN()
+	a := arch.Exynos2100Like()
+	base := core.Stratum()
+	fp := func(o core.Options) core.CacheKey { return core.Fingerprint(g, a, o) }
+	gen := newGenome(g, a.NumCores())
+	if k1, k2 := gen.key(), gen.clone().key(); k1 != k2 {
+		t.Errorf("clone changes key: %q vs %q", k1, k2)
+	}
+	// The all-default genome must lower to exactly the base options so
+	// evaluating it is a compile-cache hit against the plain config.
+	if fp(gen.Options(base)) != fp(base) {
+		t.Error("baseline genome fingerprint differs from plain options")
+	}
+	// Any deviation must change both the key and the fingerprint.
+	dev := gen.clone()
+	dev.Scale[0] = scaleGrid[unitScale+1]
+	if dev.key() == gen.key() {
+		t.Error("scale deviation not reflected in key")
+	}
+	if fp(dev.Options(base)) == fp(base) {
+		t.Error("scale deviation not reflected in options fingerprint")
+	}
+}

@@ -1,10 +1,106 @@
 package partition
 
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// MethodID identifies one of Table 1's convolution partitioning
+// methods as a per-layer override target. MethodAuto is the absence of
+// an override: heuristics h1–h5 decide. The design-space explorer
+// (package dse) mutates a vector of these; the compiler applies them
+// through Partitioner.Force.
+type MethodID int
+
+// Per-layer partitioning method overrides, Table 1 order.
+const (
+	// MethodAuto defers to the adaptive heuristics h1–h5.
+	MethodAuto MethodID = iota
+	// MethodSpatial is Table 1 "spatial": input and output split along
+	// an image axis, kernel replicated. Resolves to spatial-H when the
+	// operator supports it, else spatial-W.
+	MethodSpatial
+	// MethodSpatialPS is Table 1 "spatial*": the kernel is split and
+	// every core holds the whole input/output, requiring a partial-sum
+	// reduction stage. The emitter has no reduction stage, so this
+	// method is never supported; it exists so the Table 1 matrix can be
+	// enumerated and tested.
+	MethodSpatialPS
+	// MethodChannel is Table 1 "channel": kernel and output split along
+	// channels, input replicated.
+	MethodChannel
+	// MethodChannelPS is Table 1 "channel*": input and kernel split with
+	// a partial-sum reduction. Unsupported, like MethodSpatialPS.
+	MethodChannelPS
+)
+
+// String returns the Table 1 label.
+func (m MethodID) String() string {
+	switch m {
+	case MethodAuto:
+		return "auto"
+	case MethodSpatial:
+		return "spatial"
+	case MethodSpatialPS:
+		return "spatial*"
+	case MethodChannel:
+		return "channel"
+	case MethodChannelPS:
+		return "channel*"
+	default:
+		return fmt.Sprintf("MethodID(%d)", int(m))
+	}
+}
+
+// Methods returns every MethodID a per-layer override may name, in
+// Table 1 order (MethodAuto first).
+func Methods() []MethodID {
+	return []MethodID{MethodAuto, MethodSpatial, MethodSpatialPS, MethodChannel, MethodChannelPS}
+}
+
+// MethodSupported reports whether forcing method m on layer l can be
+// lowered by the compiler, and why not otherwise. MethodAuto is always
+// supported (the heuristics pick among the legal directions, including
+// "no split"). The partial-sum variants are never supported: the
+// emitter has no reduction stage, matching the paper's choice to use
+// only the reduction-free rows of Table 1.
+func MethodSupported(m MethodID, l *graph.Layer) (bool, string) {
+	if l.IsInput() {
+		return m == MethodAuto, "graph input is not partitioned"
+	}
+	switch m {
+	case MethodAuto:
+		return true, ""
+	case MethodSpatial:
+		if l.Op.SupportsPartition(tensor.AxisH) && l.OutShape.H > 1 {
+			return true, ""
+		}
+		if l.Op.SupportsPartition(tensor.AxisW) && l.OutShape.W > 1 {
+			return true, ""
+		}
+		return false, "operator admits no reduction-free spatial split"
+	case MethodChannel:
+		if l.Op.SupportsPartition(tensor.AxisC) && l.OutShape.C > 1 {
+			return true, ""
+		}
+		return false, "operator admits no reduction-free channel split"
+	case MethodSpatialPS, MethodChannelPS:
+		return false, "partial-sum reduction is not implemented"
+	default:
+		return false, fmt.Sprintf("unknown method %d", int(m))
+	}
+}
+
 // Method describes one convolution-layer partitioning method, one row
 // of the paper's Table 1. The compiler only ever selects the two
 // Preferred methods; the reduction-requiring alternatives are listed
 // so the Table 1 experiment can enumerate and justify the choice.
 type Method struct {
+	// ID is the override identifier for this row (MethodID); the
+	// per-layer Force vector names rows by it.
+	ID MethodID
 	// Name is the paper's label; an asterisk marks the dispreferred
 	// partial-sum variants.
 	Name string
@@ -27,6 +123,7 @@ type Method struct {
 func ConvMethods() []Method {
 	return []Method{
 		{
+			ID:              MethodSpatial,
 			Name:            "spatial",
 			Direction:       DirSpatialH,
 			DataPartitioned: []string{"input", "output"},
@@ -35,6 +132,7 @@ func ConvMethods() []Method {
 			Preferred:       true,
 		},
 		{
+			ID:              MethodSpatialPS,
 			Name:            "spatial*",
 			Direction:       DirNone,
 			DataPartitioned: []string{"kernel"},
@@ -43,6 +141,7 @@ func ConvMethods() []Method {
 			Preferred:       false,
 		},
 		{
+			ID:              MethodChannel,
 			Name:            "channel",
 			Direction:       DirChannel,
 			DataPartitioned: []string{"kernel", "output"},
@@ -51,6 +150,7 @@ func ConvMethods() []Method {
 			Preferred:       true,
 		},
 		{
+			ID:              MethodChannelPS,
 			Name:            "channel*",
 			Direction:       DirNone,
 			DataPartitioned: []string{"input", "kernel"},

@@ -1,0 +1,162 @@
+package partition
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// matrixGraph builds one graph touching every operator class whose
+// Table 1 method support differs, so the supported/unsupported matrix
+// can be asserted per (operator, method) pair.
+func matrixGraph() (*graph.Graph, map[string]graph.LayerID) {
+	g := graph.New("matrix", tensor.Int8)
+	ids := map[string]graph.LayerID{}
+	in := g.Input("input", tensor.NewShape(32, 32, 16))
+	ids["input"] = in
+	ids["conv"] = g.MustAdd("conv", ops.NewConv2D(3, 3, 1, 1, 16,
+		ops.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), in)
+	ids["dwconv"] = g.MustAdd("dwconv", ops.NewDepthwiseConv2D(3, 3, 1, 1,
+		ops.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}), ids["conv"])
+	ids["pool"] = g.MustAdd("pool", ops.MaxPool2D{KH: 2, KW: 2, StrideH: 2, StrideW: 2}, ids["dwconv"])
+	ids["act"] = g.MustAdd("act", ops.Activation{Func: ops.ReLU}, ids["pool"])
+	ids["add"] = g.MustAdd("add", ops.Add{Arity: 2}, ids["pool"], ids["act"])
+	ids["concat"] = g.MustAdd("concat", ops.Concat{Arity: 2}, ids["add"], ids["act"])
+	ids["gap"] = g.MustAdd("gap", ops.GlobalAvgPool{}, ids["concat"])
+	ids["fc"] = g.MustAdd("fc", ops.FullyConnected{OutC: 10}, ids["gap"])
+	ids["softmax"] = g.MustAdd("softmax", ops.Softmax{}, ids["fc"])
+	return g, ids
+}
+
+// TestMethodMatrix pins the Table 1 supported/unsupported matrix: for
+// each operator class, which of the four methods (plus auto) a
+// per-layer override may force. The partial-sum variants are never
+// supported — the emitter has no reduction stage, matching the paper's
+// use of only the reduction-free rows.
+func TestMethodMatrix(t *testing.T) {
+	g, ids := matrixGraph()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// want maps layer -> supported methods; every method absent from the
+	// set must be rejected. MethodAuto is supported everywhere except
+	// nowhere (inputs included: auto means "no override").
+	want := map[string][]MethodID{
+		"input":   {MethodAuto},
+		"conv":    {MethodAuto, MethodSpatial, MethodChannel},
+		"dwconv":  {MethodAuto, MethodSpatial, MethodChannel},
+		"pool":    {MethodAuto, MethodSpatial, MethodChannel},
+		"act":     {MethodAuto, MethodSpatial, MethodChannel},
+		"add":     {MethodAuto, MethodSpatial, MethodChannel},
+		"concat":  {MethodAuto, MethodSpatial, MethodChannel},
+		"gap":     {MethodAuto, MethodChannel}, // 1x1 spatial output
+		"fc":      {MethodAuto, MethodChannel}, // channel-only operator
+		"softmax": {MethodAuto},                // spatial-only op on a 1x1 map
+	}
+	for name, supported := range want {
+		l := g.Layer(ids[name])
+		set := map[MethodID]bool{}
+		for _, m := range supported {
+			set[m] = true
+		}
+		for _, m := range Methods() {
+			ok, why := MethodSupported(m, l)
+			if ok != set[m] {
+				t.Errorf("%s: MethodSupported(%s) = %v (%s), want %v", name, m, ok, why, set[m])
+			}
+			if !ok && why == "" {
+				t.Errorf("%s: rejected %s without a reason", name, m)
+			}
+		}
+	}
+}
+
+// TestMethodTableShape pins the Table 1 row metadata: IDs, labels, and
+// that exactly the reduction-free rows are Preferred.
+func TestMethodTableShape(t *testing.T) {
+	rows := ConvMethods()
+	if len(rows) != 4 {
+		t.Fatalf("ConvMethods = %d rows, want 4", len(rows))
+	}
+	wantID := []MethodID{MethodSpatial, MethodSpatialPS, MethodChannel, MethodChannelPS}
+	for i, row := range rows {
+		if row.ID != wantID[i] {
+			t.Errorf("row %d ID = %v, want %v", i, row.ID, wantID[i])
+		}
+		if row.Name != row.ID.String() {
+			t.Errorf("row %d Name %q != ID label %q", i, row.Name, row.ID.String())
+		}
+		star := strings.HasSuffix(row.Name, "*")
+		if row.Preferred == star {
+			t.Errorf("row %q: Preferred=%v but asterisk=%v", row.Name, row.Preferred, star)
+		}
+		if !row.Preferred {
+			if row.ExtraCommComp != "partial sum reduction" {
+				t.Errorf("row %q: dispreferred without a reduction stage", row.Name)
+			}
+			// And no layer may ever force it.
+			g, ids := matrixGraph()
+			if ok, _ := MethodSupported(row.ID, g.Layer(ids["conv"])); ok {
+				t.Errorf("row %q must be unsupported on every layer", row.Name)
+			}
+		}
+	}
+	if Methods()[0] != MethodAuto || len(Methods()) != 5 {
+		t.Errorf("Methods() = %v, want auto-first Table 1 order", Methods())
+	}
+	if MethodAuto.String() != "auto" || MethodID(99).String() == "" {
+		t.Error("MethodID labels broken")
+	}
+}
+
+// TestForceOverridesHeuristics pins the per-layer override semantics of
+// ChooseDirection: a supported Force entry wins over h1–h5 and the
+// Reason names it; unsupported or absent entries defer to the
+// heuristics; whole-graph forced modes beat per-layer overrides.
+func TestForceOverridesHeuristics(t *testing.T) {
+	g, ids := matrixGraph()
+	a := arch.Exynos2100Like()
+	conv := g.Layer(ids["conv"])
+
+	p := New(g, a)
+	base, baseReason := p.ChooseDirection(conv)
+	if !base.Spatial() || !strings.HasPrefix(baseReason, "h") {
+		t.Fatalf("baseline conv = %v (%s), want heuristic spatial", base, baseReason)
+	}
+
+	// Supported override flips the direction and says so.
+	p.Force = make([]MethodID, g.Len())
+	p.Force[conv.ID] = MethodChannel
+	d, reason := p.ChooseDirection(conv)
+	if d != DirChannel || reason != "override: channel method" {
+		t.Errorf("forced channel: got %v (%s)", d, reason)
+	}
+	p.Force[conv.ID] = MethodSpatial
+	d, reason = p.ChooseDirection(conv)
+	if !d.Spatial() || reason != "override: spatial method" {
+		t.Errorf("forced spatial: got %v (%s)", d, reason)
+	}
+
+	// Unsupported override (channel on the spatial-only softmax) defers
+	// to the heuristics rather than failing.
+	softmax := g.Layer(ids["softmax"])
+	p.Force[softmax.ID] = MethodChannel
+	_, reason = p.ChooseDirection(softmax)
+	if strings.HasPrefix(reason, "override") {
+		t.Errorf("unsupported override must defer to heuristics, got %s", reason)
+	}
+
+	// Whole-graph forced modes outrank per-layer overrides, so the
+	// compile fallback chain's forced-channel last resort keeps its
+	// capacity guarantee.
+	p.Mode = ForceSpatial
+	p.Force[conv.ID] = MethodChannel
+	d, reason = p.ChooseDirection(conv)
+	if !d.Spatial() || !strings.HasPrefix(reason, "forced") {
+		t.Errorf("mode must beat override: got %v (%s)", d, reason)
+	}
+}

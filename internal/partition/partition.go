@@ -160,6 +160,16 @@ type Partitioner struct {
 	// execution assists to detect unwanted idle times and fix the
 	// unbalance"). Nil means unit scales.
 	WeightScale []float64
+	// Force optionally overrides the partitioning method per layer,
+	// indexed by LayerID (the design-space explorer's genome drives
+	// it). MethodAuto entries, indexes past the slice, and overrides
+	// the operator cannot support (MethodSupported says no) all defer
+	// to the h1–h5 heuristics. Force only applies in Adaptive mode:
+	// the whole-graph ForceSpatial/ForceChannel modes (Table 4, the
+	// fallback chain's last resort) take precedence, so the
+	// graceful-degradation chain keeps its guarantee of reaching a
+	// channel-partitioned schedule.
+	Force []MethodID
 }
 
 // New returns a partitioner with an adaptive policy.
@@ -245,12 +255,15 @@ func hasDir(dirs []Direction, d Direction) bool {
 	return false
 }
 
-// ChooseDirection applies the paper's heuristics h1–h5 (or the forced
-// mode) and reports the deciding rule.
+// ChooseDirection applies a per-layer override (Force), the forced
+// whole-graph mode, or the paper's heuristics h1–h5, and reports the
+// deciding rule. Reasons name their origin consistently: "hN: ..."
+// for a heuristic decision, "forced: ..." for a whole-graph mode, and
+// "override: ..." for a per-layer Force entry.
 func (p *Partitioner) ChooseDirection(l *graph.Layer) (Direction, string) {
 	dirs := legalDirs(l)
 	if len(dirs) == 0 {
-		return DirNone, "no reduction-free partitioning axis"
+		return DirNone, "h1: no reduction-free partitioning axis"
 	}
 	spatial := DirNone
 	if hasDir(dirs, DirSpatialH) {
@@ -266,14 +279,29 @@ func (p *Partitioner) ChooseDirection(l *graph.Layer) (Direction, string) {
 	switch p.Mode {
 	case ForceSpatial:
 		if spatial != DirNone {
-			return spatial, "forced spatial"
+			return spatial, "forced: spatial mode"
 		}
-		return channel, "forced spatial unavailable; channel fallback"
+		return channel, "forced: spatial mode unavailable; channel fallback"
 	case ForceChannel:
 		if channel != DirNone {
-			return channel, "forced channel"
+			return channel, "forced: channel mode"
 		}
-		return spatial, "forced channel unavailable; spatial fallback"
+		return spatial, "forced: channel mode unavailable; spatial fallback"
+	}
+
+	// Per-layer override (Adaptive mode only; unsupported overrides
+	// fall through to the heuristics).
+	if int(l.ID) < len(p.Force) {
+		switch m := p.Force[l.ID]; m {
+		case MethodSpatial:
+			if spatial != DirNone {
+				return spatial, "override: spatial method"
+			}
+		case MethodChannel:
+			if channel != DirNone {
+				return channel, "override: channel method"
+			}
+		}
 	}
 
 	// Adaptive: h1-h5.
@@ -299,7 +327,7 @@ func (p *Partitioner) ChooseDirection(l *graph.Layer) (Direction, string) {
 		if l.OutShape.C >= n*p.Arch.MaxAlignC() {
 			return channel, "h3: spatial extent too shallow for all cores"
 		}
-		return spatial, "h3 fallback: both axes shallow; keep spatial"
+		return spatial, "h3: both axes too shallow; keep spatial"
 	}
 
 	kernelBytes := l.Op.KernelBytes(l.OutShape, in, l.DType)

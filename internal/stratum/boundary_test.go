@@ -1,0 +1,133 @@
+package stratum
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/partition"
+	"repro/internal/schedule"
+	"repro/internal/tensor"
+)
+
+// wideChain builds n stacked 5x5 SAME convolutions over a 48x48x64
+// input: spatially partitioned (h1), but the 5x5 halo redundancy makes
+// h8 refuse every merge — the chain the Fuse override exists for.
+func wideChain(n int) *graph.Graph {
+	g := graph.New("wide", tensor.Int8)
+	prev := g.Input("input", tensor.NewShape(48, 48, 64))
+	for i := 0; i < n; i++ {
+		prev = g.MustAdd("conv"+string(rune('a'+i)),
+			ops.NewConv2D(5, 5, 1, 1, 64, ops.Padding{Top: 2, Bottom: 2, Left: 2, Right: 2}), prev)
+	}
+	return g
+}
+
+// buildWith is build with a per-layer boundary vector applied.
+func buildWith(t *testing.T, g *graph.Graph, a *arch.Arch, bound []Boundary) []Stratum {
+	t.Helper()
+	p := partition.New(g, a)
+	plans := p.PlanAll()
+	pred := func(l *graph.Layer) bool {
+		d, _ := p.ChooseDirection(l)
+		return d.Spatial()
+	}
+	order := schedule.New(g, pred).Order()
+	b := New(g, a, plans, order)
+	b.Boundary = bound
+	strata := b.Build()
+	if err := b.Validate(strata); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return strata
+}
+
+func uniform(g *graph.Graph, x Boundary) []Boundary {
+	b := make([]Boundary, g.Len())
+	for i := range b {
+		b[i] = x
+	}
+	return b
+}
+
+// TestBoundaryBreakSplits pins BoundaryBreak: a chain h6–h8 fully
+// merge must split exactly at the forced boundary, and an all-Break
+// vector must yield singleton strata.
+func TestBoundaryBreakSplits(t *testing.T) {
+	g := convChain(4)
+	a := arch.Exynos2100Like()
+	if n := len(buildWith(t, g, a, nil)); n != 1 {
+		t.Fatalf("auto strata = %d, want 1 (premise: the chain merges)", n)
+	}
+	if sizes := strataSizes(buildWith(t, g, a, uniform(g, BoundaryBreak))); len(sizes) != 4 {
+		t.Errorf("all-Break strata = %v, want 4 singletons", sizes)
+	}
+	// One break mid-chain: the edge from the second conv (LayerID 2;
+	// the input is 0) to the third refuses to merge -> two strata of 2.
+	bound := make([]Boundary, g.Len())
+	bound[2] = BoundaryBreak
+	sizes := strataSizes(buildWith(t, g, a, bound))
+	if len(sizes) != 2 || sizes[0] != 2 || sizes[1] != 2 {
+		t.Errorf("single break strata = %v, want [2 2]", sizes)
+	}
+}
+
+// TestBoundaryFuseOverridesH8 pins BoundaryFuse: on a chain the h8
+// cost cutoff keeps fully split, forcing Fuse merges it — h8 is
+// bypassed but the merge still passes Validate (legality and halo
+// accounting intact).
+func TestBoundaryFuseOverridesH8(t *testing.T) {
+	g := wideChain(4)
+	a := arch.Exynos2100Like()
+	auto := buildWith(t, g, a, nil)
+	if len(auto) != 4 {
+		t.Fatalf("auto strata = %v, want 4 singletons (premise: h8 breaks)", strataSizes(auto))
+	}
+	fused := buildWith(t, g, a, uniform(g, BoundaryFuse))
+	if len(fused) != 1 || fused[0].Len() != 4 {
+		t.Fatalf("fused strata = %v, want one stratum of 4", strataSizes(fused))
+	}
+	if fused[0].RedundantMACs <= 0 {
+		t.Error("forced merge must still account redundant compute")
+	}
+}
+
+// TestBoundaryFuseRespectsLegality pins that Fuse only skips the h8
+// cost check: the structural h6 and direction h7 requirements still
+// hold, so a channel-partitioned chain stays split no matter what the
+// override says.
+func TestBoundaryFuseRespectsLegality(t *testing.T) {
+	// 16x16 input with 5x5 kernels: h2 partitions along channels, and
+	// channel-partitioned layers can never fuse (h7).
+	g := graph.New("chan", tensor.Int8)
+	prev := g.Input("input", tensor.NewShape(16, 16, 64))
+	for i := 0; i < 3; i++ {
+		prev = g.MustAdd("conv"+string(rune('a'+i)),
+			ops.NewConv2D(5, 5, 1, 1, 64, ops.Padding{Top: 2, Bottom: 2, Left: 2, Right: 2}), prev)
+	}
+	a := arch.Exynos2100Like()
+	p := partition.New(g, a)
+	d, why := p.ChooseDirection(g.Layer(graph.LayerID(1)))
+	if d.Spatial() {
+		t.Fatalf("premise broken: layer partitioned %v (%s), want channel", d, why)
+	}
+	fused := buildWith(t, g, a, uniform(g, BoundaryFuse))
+	if len(fused) != 3 {
+		t.Errorf("Fuse merged illegally: strata = %v, want 3 singletons", strataSizes(fused))
+	}
+}
+
+// TestBoundaryString covers the label mapping.
+func TestBoundaryString(t *testing.T) {
+	for b, want := range map[Boundary]string{
+		BoundaryAuto: "auto", BoundaryBreak: "break", BoundaryFuse: "fuse",
+	} {
+		if b.String() != want {
+			t.Errorf("Boundary(%d).String() = %q, want %q", int8(b), b.String(), want)
+		}
+	}
+	if Boundary(9).String() == "" {
+		t.Error("unknown boundary label empty")
+	}
+}

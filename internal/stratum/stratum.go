@@ -37,6 +37,42 @@ type Stratum struct {
 // Len returns the number of layers in the stratum.
 func (s *Stratum) Len() int { return len(s.Layers) }
 
+// Boundary tunes stratum accumulation at one layer, generalizing the
+// fixed h8 cutoff into a per-layer knob the design-space explorer can
+// search over. The structural legality rules h6 (single-user direct
+// edge) and h7 (matching spatial partitioning) always hold — they are
+// what makes a stratum synchronization-free — but whether a legal
+// merge is *worth* it becomes tunable.
+type Boundary int8
+
+// Per-layer stratum boundary policies.
+const (
+	// BoundaryAuto applies the paper's cost cutoff h8: merge only when
+	// the redundant compute undercuts the synchronization saved.
+	BoundaryAuto Boundary = iota
+	// BoundaryBreak forces a stratum boundary: the layer never merges
+	// into its successor's stratum, regardless of h8.
+	BoundaryBreak
+	// BoundaryFuse merges the layer into its successor's stratum
+	// whenever h6/h7 legality holds, skipping the h8 cost cutoff (the
+	// SPM capacity chain still trims strata that do not fit).
+	BoundaryFuse
+)
+
+// String returns a short policy label.
+func (b Boundary) String() string {
+	switch b {
+	case BoundaryAuto:
+		return "auto"
+	case BoundaryBreak:
+		return "break"
+	case BoundaryFuse:
+		return "fuse"
+	default:
+		return fmt.Sprintf("Boundary(%d)", int8(b))
+	}
+}
+
 // Singleton reports whether the stratum holds a single layer (no
 // synchronization was eliminated).
 func (s *Stratum) Singleton() bool { return len(s.Layers) == 1 }
@@ -56,6 +92,20 @@ type Builder struct {
 	// when deep strata overrun SPM: shallower strata hold fewer
 	// forwarded feature maps resident at once.
 	MaxLayers int
+	// Boundary optionally overrides the h8 cutoff per layer, indexed
+	// by LayerID (see Boundary). Nil, short slices, and BoundaryAuto
+	// entries keep the paper's behavior. Boundary applies to the edge
+	// from the indexed layer to its (single) successor.
+	Boundary []Boundary
+}
+
+// boundary returns the policy for the edge from layer id to its
+// successor.
+func (b *Builder) boundary(id graph.LayerID) Boundary {
+	if int(id) < len(b.Boundary) {
+		return b.Boundary[id]
+	}
+	return BoundaryAuto
 }
 
 // New returns a Builder.
@@ -137,6 +187,12 @@ func (b *Builder) tryAccumulate(curr, prevTop graph.LayerID, cur *Stratum) (bool
 	lCurr := g.Layer(curr)
 	lPrev := g.Layer(prevTop)
 
+	// Per-layer boundary override: a forced break refuses the merge
+	// outright; legality (h6/h7) is still required below either way.
+	if b.boundary(curr) == BoundaryBreak {
+		return false, nil, 0
+	}
+
 	// h6 (immediate successor): prevTop must consume curr directly and
 	// be its only user, and curr must be prevTop's only data input —
 	// otherwise some tensor still needs a global-memory round trip and
@@ -186,19 +242,24 @@ func (b *Builder) tryAccumulate(curr, prevTop graph.LayerID, cur *Stratum) (bool
 
 	// h8 (redundant computation is cheap): the extra compute on the
 	// slowest-hit core must undercut the barrier this merge removes.
-	worst := int64(0)
-	for i := range expanded {
-		extra := lCurr.Op.MACs(expanded[i].Ext, g.InShapes(lCurr)) - pCurr.Subs[i].MACs
-		if extra < 0 {
-			extra = 0
+	// A BoundaryFuse override skips the cutoff: the merge is legal, so
+	// let the capacity chain (TrimToFit, the SPM fallback rungs) be
+	// the only brake.
+	if b.boundary(curr) != BoundaryFuse {
+		worst := int64(0)
+		for i := range expanded {
+			extra := lCurr.Op.MACs(expanded[i].Ext, g.InShapes(lCurr)) - pCurr.Subs[i].MACs
+			if extra < 0 {
+				extra = 0
+			}
+			c := b.Model.ComputeCycles(i, extra, lCurr.DType)
+			if c > worst {
+				worst = c
+			}
 		}
-		c := b.Model.ComputeCycles(i, extra, lCurr.DType)
-		if c > worst {
-			worst = c
+		if worst >= b.Model.SyncCycles(b.Arch.NumCores()) {
+			return false, nil, 0
 		}
-	}
-	if worst >= b.Model.SyncCycles(b.Arch.NumCores()) {
-		return false, nil, 0
 	}
 	return true, expanded, redundant
 }
