@@ -11,7 +11,8 @@
 //	npusim -model UNet -trace unet.json   # open in chrome://tracing
 //	npusim -model TinyCNN -faults "drop=0.02,kill=2@400000" -fault-seed 7
 //	npusim -model MobileNetV2 -dse -dse-seed 7   # search schedules beyond h1-h8
-//	npusim -serve :8080                   # POST /run, GET /healthz /readyz /stats
+//	npusim -serve :8080                   # POST /run /tenants, GET /healthz /readyz /stats
+//	npusim -tenants "cam=MobileNetV2:prio=2:slo=9000,kbd=TinyCNN:slo=600"
 package main
 
 import (
@@ -44,6 +45,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/spm"
 	"repro/internal/stats"
+	"repro/internal/tenancy"
 	"repro/internal/trace"
 )
 
@@ -78,7 +80,10 @@ func main() {
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for partition planning and reference kernels (1 forces serial)")
 	engine := flag.String("engine", "event", "simulator engine: event (production) or reference (retained oracle; bit-identical, for A/B checks)")
 	strictSPM := flag.Bool("strict-spm", true, "exit non-zero when simulated live SPM bytes overflow a core's capacity; =false tolerates over-budget schedules")
-	serveAddr := flag.String("serve", "", "run as an HTTP service on this address (e.g. :8080) instead of a one-shot simulation; POST /run, GET /healthz /readyz /stats")
+	tenantsSpec := flag.String("tenants", "", `multi-tenant serving mode: comma-separated tenant spec, e.g. "cam=MobileNetV2:prio=2:slo=9000,seg=DeepLabV3+:arrive=5000"`)
+	tenantsHorizon := flag.Float64("tenants-horizon", 0, "tenants mode: simulated serving window in us (0 = 20000)")
+	tenantsOut := flag.String("tenants-out", "", "tenants mode: write the report as JSON to this file")
+	serveAddr := flag.String("serve", "", "run as an HTTP service on this address (e.g. :8080) instead of a one-shot simulation; POST /run /tenants, GET /healthz /readyz /stats")
 	serveConc := flag.Int("serve-concurrency", 0, "serve mode: requests executed at once (0 = GOMAXPROCS)")
 	serveQueue := flag.Int("serve-queue", 0, "serve mode: admitted requests waiting beyond the executing set; beyond this, shed with 429 (0 = 2x concurrency)")
 	serveTimeout := flag.Duration("serve-timeout", 30*time.Second, "serve mode: default per-request deadline (requests may set a shorter one)")
@@ -136,6 +141,11 @@ func main() {
 	opt.Partitioning, err = cliutil.Mode(*mode)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *tenantsSpec != "" {
+		runTenants(a, *tenantsSpec, *tenantsHorizon, *tenantsOut, opt)
+		return
 	}
 
 	if *dseFlag {
@@ -221,6 +231,38 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("trace written to %s (open in chrome://tracing)\n", *traceOut)
+	}
+}
+
+// runTenants co-schedules a multi-tenant serving scenario over the
+// platform and prints per-tenant SLO hit rates and interference. The
+// report carries no wall-clock fields: the same spec writes the same
+// bytes, so scripts can diff reruns.
+func runTenants(a *arch.Arch, spec string, horizonUS float64, out string, opt core.Options) {
+	tenants, err := tenancy.ParseSpec(spec)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := tenancy.Run(a, tenants, tenancy.Options{
+		HorizonUS: horizonUS,
+		Opt:       opt,
+		OptSet:    true,
+		Sim:       sim.Config{NoSPMCheck: noSPMCheck},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rep.Print(os.Stdout)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("tenancy report written to %s\n", out)
 	}
 }
 
@@ -427,7 +469,7 @@ func runServe(addr string, opts serve.Options, drainTimeout time.Duration) {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- s.ListenAndServe(addr) }()
-	opts.Logger.Printf("serving on %s (POST /run, GET /healthz /readyz /stats)", addr)
+	opts.Logger.Printf("serving on %s (POST /run /tenants, GET /healthz /readyz /stats)", addr)
 
 	select {
 	case err := <-errCh:

@@ -1,0 +1,123 @@
+package loadgen
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/tenancy"
+)
+
+func TestRunTenantsDeterministic(t *testing.T) {
+	a := arch.Exynos2100Like()
+	loads := []TenantLoad{
+		{Tenant: tenancy.Tenant{Name: "cam", Model: "ShuffleNetV2", Priority: 2, SLOUS: 4000}, RPS: 2000},
+		{Tenant: tenancy.Tenant{Name: "kbd", Model: "TinyCNN", Priority: 1, SLOUS: 500}, RPS: 3000},
+	}
+	o := TenantsOptions{HorizonUS: 5000, Seed: 42}
+	r1, err := RunTenants(a, loads, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunTenants(a, loads, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	if err := r1.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("same seed and loads produced different JSON bytes")
+	}
+	// A different seed must change the arrival pattern.
+	r3, err := RunTenants(a, loads, TenantsOptions{HorizonUS: 5000, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range r3.Tenants {
+		if r3.Tenants[i].Requests != r1.Tenants[i].Requests {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical request counts for every tenant")
+	}
+}
+
+func TestRunTenantsColumnsAndWindows(t *testing.T) {
+	a := arch.Exynos2100Like()
+	loads := []TenantLoad{
+		{Tenant: tenancy.Tenant{Name: "p", Model: "ShuffleNetV2", Priority: 2}, RPS: 5000},
+		{Tenant: tenancy.Tenant{Name: "q", Model: "ShuffleNetV2", Priority: 1, ArriveUS: 1000, DepartUS: 2000}, RPS: 5000},
+	}
+	rep, err := RunTenants(a, loads, TenantsOptions{HorizonUS: 6000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schedule == nil || len(rep.Schedule.Tenants) != 2 {
+		t.Fatal("report did not embed the tenancy schedule")
+	}
+	for _, tp := range rep.Tenants {
+		if tp.Requests == 0 {
+			t.Errorf("tenant %s replayed zero requests", tp.Name)
+		}
+		if tp.SLOHitPct < 0 || tp.SLOHitPct > 100 {
+			t.Errorf("tenant %s: hit rate %.1f out of range", tp.Name, tp.SLOHitPct)
+		}
+		if tp.InterferencePct < 0 {
+			t.Errorf("tenant %s: negative interference %.2f", tp.Name, tp.InterferencePct)
+		}
+		if tp.ServiceUS < tp.IsolatedUS {
+			t.Errorf("tenant %s: service %.1f beat isolated %.1f", tp.Name, tp.ServiceUS, tp.IsolatedUS)
+		}
+	}
+	// q's window is 1 ms; the always-on tenant must see far more load.
+	p, q := rep.Tenants[0], rep.Tenants[1]
+	if q.Requests >= p.Requests {
+		t.Errorf("windowed tenant saw %d requests vs %d for the resident", q.Requests, p.Requests)
+	}
+	// No SLO declared: every served request is a hit.
+	if p.SLOHits != p.Requests {
+		t.Errorf("tenant p without SLO hit %d of %d", p.SLOHits, p.Requests)
+	}
+}
+
+func TestRunTenantsSLOSeparatesRates(t *testing.T) {
+	a := arch.Exynos2100Like()
+	// Probe the service time once, then pick SLOs around it.
+	probe, err := RunTenants(a, []TenantLoad{
+		{Tenant: tenancy.Tenant{Name: "x", Model: "TinyCNN"}},
+	}, TenantsOptions{HorizonUS: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := probe.Tenants[0].ServiceUS
+	if svc <= 0 {
+		t.Fatalf("probe measured service %.2f", svc)
+	}
+	run := func(slo float64) TenantPoint {
+		rep, err := RunTenants(a, []TenantLoad{
+			{Tenant: tenancy.Tenant{Name: "x", Model: "TinyCNN", SLOUS: slo}},
+		}, TenantsOptions{HorizonUS: 2000, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Tenants[0]
+	}
+	generous := run(svc * 100)
+	if generous.SLOHitPct != 100 {
+		t.Errorf("generous SLO hit %.1f%%, want 100", generous.SLOHitPct)
+	}
+	tight := run(svc / 2)
+	if tight.SLOHits != 0 {
+		t.Errorf("SLO below the service time still hit %d times", tight.SLOHits)
+	}
+	if generous.Requests != tight.Requests {
+		t.Errorf("same seed produced %d vs %d requests", generous.Requests, tight.Requests)
+	}
+}

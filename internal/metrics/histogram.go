@@ -113,6 +113,22 @@ func (d *Dist) Observe(us int64) {
 	d.SumUS += us
 }
 
+// ObserveN records n identical latencies in whole microseconds — the
+// bulk form of Observe for replay loops that book a whole epoch of
+// equal-period inferences at once (tenancy gang rounds). Equivalent to
+// calling Observe(us) n times; n <= 0 records nothing.
+func (d *Dist) ObserveN(us, n int64) {
+	if n <= 0 {
+		return
+	}
+	if us < 0 {
+		us = 0
+	}
+	d.Counts[bucketIndex(us)] += n
+	d.N += n
+	d.SumUS += us * n
+}
+
 // Merge adds o's observations into d, exactly.
 func (d *Dist) Merge(o *Dist) {
 	for i, c := range o.Counts {

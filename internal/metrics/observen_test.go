@@ -1,0 +1,37 @@
+package metrics
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestDistObserveNMatchesRepeatedObserve: ObserveN(us, n) leaves the
+// Dist in exactly the state n individual Observe(us) calls would —
+// including the negative-latency clamp — so bulk-booked replays report
+// identical quantiles.
+func TestDistObserveNMatchesRepeatedObserve(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var bulk, loop Dist
+	for trial := 0; trial < 200; trial++ {
+		us := rng.Int63n(3_000_000) - 1000 // occasionally negative
+		n := rng.Int63n(50)
+		bulk.ObserveN(us, n)
+		for i := int64(0); i < n; i++ {
+			loop.Observe(us)
+		}
+	}
+	if !reflect.DeepEqual(bulk, loop) {
+		t.Errorf("bulk %+v != loop %+v", bulk, loop)
+	}
+}
+
+func TestDistObserveNNonPositiveIsNoOp(t *testing.T) {
+	var d Dist
+	d.ObserveN(100, 0)
+	d.ObserveN(100, -3)
+	var zero Dist
+	if !reflect.DeepEqual(d, zero) {
+		t.Errorf("n <= 0 mutated the dist: %+v", d)
+	}
+}

@@ -196,19 +196,14 @@ func Recover(g *graph.Graph, a *arch.Arch, failure *sim.CoreFailure, opts Option
 				completed = append(completed, l.ID)
 			}
 		}
-		suffix, origin, err := SuffixGraph(g, completed)
+		// Remap compiles the suffix through the fingerprint cache, so
+		// repeated failures at the same checkpoint (sweeps, chaos soaks)
+		// compile once, and honors the caller's Sim.Ctx cancellation.
+		rm, err := Remap(opts.Sim.Ctx, g, completed, a, alive, opts.Opt)
 		if err != nil {
 			return nil, err
 		}
-
-		sub, err := a.Subset(alive)
-		if err != nil {
-			return nil, err
-		}
-		res, err := core.Compile(suffix, sub, opts.Opt)
-		if err != nil {
-			return nil, fmt.Errorf("recovery: recompiling for %d cores: %w", len(alive), err)
-		}
+		suffix, origin, res := rm.Suffix, rm.Origin, rm.Compiled
 
 		// Resume on the global architecture so the fault plan's core
 		// indices keep their meaning (dead cores are unplaced -> inert).

@@ -10,6 +10,7 @@
 // Endpoints:
 //
 //	POST /run      compile + simulate one request (JSON body, RunRequest)
+//	POST /tenants  co-schedule a multi-tenant serving scenario (TenantsRequest)
 //	GET  /healthz  liveness: 200 while the process is up
 //	GET  /readyz   readiness: 200 while accepting, 503 once draining
 //	GET  /stats    counters, queue depths, latency percentiles (JSON)
@@ -39,6 +40,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/serialize"
 	"repro/internal/sim"
+	"repro/internal/tenancy"
 	"repro/internal/tiling"
 )
 
@@ -127,6 +129,26 @@ type RunResponse struct {
 	ElapsedMS     float64
 }
 
+// TenantsRequest is the POST /tenants body: a multi-tenant serving
+// scenario co-scheduled on one simulated platform. The success reply
+// is the tenancy report JSON (per-tenant SLO hit rates, interference,
+// remap counts) — deterministic for a given request.
+type TenantsRequest struct {
+	// Spec is the tenant list in tenancy.ParseSpec syntax:
+	// "cam=MobileNetV2:prio=2:slo=9000,seg=DeepLabV3+:arrive=5000".
+	Spec string
+	// HorizonUS is the simulated serving window in microseconds; 0
+	// picks the tenancy default (20 ms).
+	HorizonUS float64 `json:",omitempty"`
+	// Cores selects the architecture as in RunRequest (default 3).
+	Cores int `json:",omitempty"`
+	// Config is the optimization configuration (default "stratum").
+	Config string `json:",omitempty"`
+	// TimeoutMS is the per-request deadline in milliseconds; 0 uses
+	// the server default.
+	TimeoutMS int `json:",omitempty"`
+}
+
 // ErrorResponse is the body of every non-2xx /run reply.
 type ErrorResponse struct {
 	Error string
@@ -200,6 +222,7 @@ func New(opts Options) *Server {
 		drainCh: make(chan struct{}),
 	}
 	s.mux.HandleFunc("/run", s.handleRun)
+	s.mux.HandleFunc("/tenants", s.handleTenants)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/stats", s.handleStats)
@@ -334,31 +357,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 //	execute            -> success 200, typed failure per errStatus,
 //	                      panic 500 (recovered, logged, process lives)
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeErr(s, w, http.StatusMethodNotAllowed, "bad_request",
-			fmt.Errorf("use POST"), false, 0)
+	release, ok := s.admit(w, r)
+	if !ok {
 		return
 	}
-	if s.draining.Load() {
-		s.rejected.Add(1)
-		writeErr(s, w, http.StatusServiceUnavailable, "draining",
-			errors.New("server is draining"), true, s.retryAfterSeconds())
-		return
-	}
-
-	// Bounded admission: at most Concurrency executing plus Queue
-	// waiting. Beyond that, shed load immediately — a deadline-bound
-	// client is better served by a fast 429 than by queueing past its
-	// deadline.
-	if depth := s.queued.Add(1); depth > int64(s.opts.Concurrency+s.opts.Queue) {
-		s.queued.Add(-1)
-		s.rejected.Add(1)
-		writeErr(s, w, http.StatusTooManyRequests, "queue_full",
-			fmt.Errorf("admission queue full (%d executing + %d queued)",
-				s.opts.Concurrency, s.opts.Queue), true, s.retryAfterSeconds())
-		return
-	}
-	defer s.queued.Add(-1)
+	defer release()
 
 	req, err := s.decodeRequest(r)
 	if err != nil {
@@ -366,10 +369,76 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeErr(s, w, http.StatusBadRequest, "bad_request", err, false, 0)
 		return
 	}
+	s.serveAdmitted(w, r, req.TimeoutMS, func(ctx context.Context) (any, error) {
+		return s.execute(ctx, req)
+	})
+}
 
+// handleTenants runs a multi-tenant co-scheduling scenario through the
+// same bounded-admission state machine as /run.
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	req, err := s.decodeTenantsRequest(r)
+	if err != nil {
+		s.rejected.Add(1)
+		writeErr(s, w, http.StatusBadRequest, "bad_request", err, false, 0)
+		return
+	}
+	s.serveAdmitted(w, r, req.TimeoutMS, func(ctx context.Context) (any, error) {
+		return s.executeTenants(ctx, req)
+	})
+}
+
+// admit performs the shed-before-decode steps shared by every POST
+// endpoint: method check, drain shedding, and bounded admission — at
+// most Concurrency executing plus Queue waiting; beyond that, shed
+// immediately, since a deadline-bound client is better served by a
+// fast 429 than by queueing past its deadline. When ok, the caller
+// must defer release.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if r.Method != http.MethodPost {
+		writeErr(s, w, http.StatusMethodNotAllowed, "bad_request",
+			fmt.Errorf("use POST"), false, 0)
+		return nil, false
+	}
+	if s.draining.Load() {
+		s.rejected.Add(1)
+		writeErr(s, w, http.StatusServiceUnavailable, "draining",
+			errors.New("server is draining"), true, s.retryAfterSeconds())
+		return nil, false
+	}
+	if depth := s.queued.Add(1); depth > int64(s.opts.Concurrency+s.opts.Queue) {
+		s.queued.Add(-1)
+		s.rejected.Add(1)
+		writeErr(s, w, http.StatusTooManyRequests, "queue_full",
+			fmt.Errorf("admission queue full (%d executing + %d queued)",
+				s.opts.Concurrency, s.opts.Queue), true, s.retryAfterSeconds())
+		return nil, false
+	}
+	return func() { s.queued.Add(-1) }, true
+}
+
+// elapsedSetter lets serveAdmitted stamp the measured wall time onto
+// response types that report it.
+type elapsedSetter interface{ setElapsed(time.Duration) }
+
+func (r *RunResponse) setElapsed(d time.Duration) {
+	r.ElapsedMS = float64(d) / float64(time.Millisecond)
+}
+
+// serveAdmitted finishes an admitted, decoded request: it waits for an
+// execution slot under the request deadline, runs exec, and writes the
+// JSON reply — the execution half of the state machine every POST
+// endpoint shares.
+func (s *Server) serveAdmitted(w http.ResponseWriter, r *http.Request, timeoutMS int, exec func(context.Context) (any, error)) {
 	timeout := s.opts.DefaultTimeout
-	if req.TimeoutMS > 0 {
-		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
@@ -397,7 +466,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		<-s.sem
 	}()
 
-	resp, err := s.execute(ctx, req)
+	resp, err := exec(ctx)
 	elapsed := time.Since(start)
 	if err != nil {
 		code, kind, retryable := errStatus(err)
@@ -412,7 +481,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	s.completed.Add(1)
 	s.latency.Observe(elapsed)
-	resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	if es, ok := resp.(elapsedSetter); ok {
+		es.setElapsed(elapsed)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }
@@ -510,6 +581,61 @@ func (s *Server) execute(ctx context.Context, req *RunRequest) (resp *RunRespons
 		CacheHit:      hit,
 		CompileMS:     compileMS,
 	}, nil
+}
+
+// decodeTenantsRequest parses and validates the POST /tenants body.
+func (s *Server) decodeTenantsRequest(r *http.Request) (*TenantsRequest, error) {
+	body := http.MaxBytesReader(nil, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req TenantsRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("decode request: %w", err)
+	}
+	if req.Spec == "" {
+		return nil, errors.New("Spec must be set")
+	}
+	if req.TimeoutMS < 0 {
+		return nil, fmt.Errorf("negative TimeoutMS %d", req.TimeoutMS)
+	}
+	if req.Cores == 0 {
+		req.Cores = 3
+	}
+	if req.Config == "" {
+		req.Config = "stratum"
+	}
+	return &req, nil
+}
+
+// executeTenants runs one admitted /tenants request, with the same
+// panic isolation as /run.
+func (s *Server) executeTenants(ctx context.Context, req *TenantsRequest) (resp *tenancy.Report, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			s.opts.Logger.Printf("serve: panic in /tenants: %v\n%s", p, debug.Stack())
+			resp, err = nil, &panicError{val: p}
+		}
+	}()
+
+	tenants, err := tenancy.ParseSpec(req.Spec)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	a, err := cliutil.Arch(req.Cores)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	opt, err := cliutil.Config(req.Config)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	return tenancy.Run(a, tenants, tenancy.Options{
+		HorizonUS: req.HorizonUS,
+		Opt:       opt,
+		OptSet:    true,
+		Sim:       sim.Config{Ctx: ctx},
+	})
 }
 
 // requestGraph builds the request's network: a named benchmark model

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/tenancy"
+)
+
+func postTenants(t *testing.T, srv *httptest.Server, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/tenants", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestTenantsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(New(Options{}).Handler())
+	defer srv.Close()
+
+	resp := postTenants(t, srv,
+		`{"Spec":"cam=ShuffleNetV2:prio=2:slo=4000,kbd=TinyCNN:slo=600","HorizonUS":4000}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var rep tenancy.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tenants) != 2 {
+		t.Fatalf("got %d tenant rows", len(rep.Tenants))
+	}
+	for _, tr := range rep.Tenants {
+		if tr.Inferences == 0 {
+			t.Errorf("tenant %s served nothing", tr.Name)
+		}
+		if tr.SLOHitPct < 0 || tr.SLOHitPct > 100 {
+			t.Errorf("tenant %s: hit rate %.1f out of range", tr.Name, tr.SLOHitPct)
+		}
+	}
+}
+
+// The same request body must return the same report bytes: the tenancy
+// report has no wall-clock fields.
+func TestTenantsEndpointDeterministic(t *testing.T) {
+	srv := httptest.NewServer(New(Options{}).Handler())
+	defer srv.Close()
+
+	body := `{"Spec":"a=TinyCNN:slo=500,b=TinyCNN","HorizonUS":2000}`
+	read := func() []byte {
+		resp := postTenants(t, srv, body)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(read(), read()) {
+		t.Error("same request produced different report bytes")
+	}
+}
+
+func TestTenantsEndpointErrors(t *testing.T) {
+	srv := httptest.NewServer(New(Options{}).Handler())
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		body string
+		code int
+	}{
+		{`{"Spec":""}`, http.StatusBadRequest},              // empty spec
+		{`{"Spec":"x=NoSuchModel"}`, http.StatusBadRequest}, // unknown model
+		{`{"Spec":"x=TinyCNN","TimeoutMS":-1}`, http.StatusBadRequest},
+		{`{"Spec":"x=TinyCNN","Wat":1}`, http.StatusBadRequest}, // unknown field
+		{`{"Spec":"x=TinyCNN","Config":"nope"}`, http.StatusBadRequest},
+	} {
+		resp := postTenants(t, srv, tc.body)
+		var e ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("%s: decode error body: %v", tc.body, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status %d, want %d (%s)", tc.body, resp.StatusCode, tc.code, e.Error)
+		}
+		if e.Kind != "bad_request" {
+			t.Errorf("%s: kind %q", tc.body, e.Kind)
+		}
+	}
+
+	getResp, err := http.Get(srv.URL + "/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /tenants: status %d", getResp.StatusCode)
+	}
+}

@@ -1,8 +1,10 @@
 package npu
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/sim"
 )
 
@@ -14,14 +16,74 @@ type Workload struct {
 	Options Options
 }
 
+// SimConfig configures the shared simulation of a concurrent run
+// (deadlines/cancellation via Ctx, fault injection, tracing). It is
+// sim.Config re-exported so callers can thread serving-layer concerns
+// into RunConcurrentCtx from the public API alone.
+type SimConfig = sim.Config
+
 // MultiReport is the outcome of a concurrent run.
 type MultiReport struct {
 	// Stats aggregates over the whole platform.
 	Stats SimStats
-	// PerWorkloadUS is each workload's completion time in microseconds.
+	// PerWorkloadUS is each workload's completion time in microseconds,
+	// indexed exactly like the input workload slice (PerWorkloadUS[i]
+	// is workloads[i]; Stats.ProgramCycles shares the ordering).
 	PerWorkloadUS []float64
 	// Arch is the shared platform.
 	Arch *Arch
+}
+
+// CoreConflictError reports an invalid concurrent placement detected
+// before any workload is compiled: a workload claiming a core outside
+// the architecture, or one already claimed by an earlier workload.
+type CoreConflictError struct {
+	// Workload is the index of the offending workload.
+	Workload int
+	// Core is the offending global core index.
+	Core int
+	// Owner is the earlier workload already holding Core, or -1 when
+	// the core is simply out of range (or claimed twice by Workload
+	// itself, in which case Owner == Workload).
+	Owner int
+	// NumCores is the architecture's core count.
+	NumCores int
+}
+
+func (e *CoreConflictError) Error() string {
+	if e.Owner < 0 {
+		return fmt.Sprintf("npu: workload %d claims core %d, out of range (0..%d)",
+			e.Workload, e.Core, e.NumCores-1)
+	}
+	if e.Owner == e.Workload {
+		return fmt.Sprintf("npu: workload %d claims core %d twice", e.Workload, e.Core)
+	}
+	return fmt.Sprintf("npu: workloads %d and %d both claim core %d", e.Owner, e.Workload, e.Core)
+}
+
+// validateWorkloads checks every workload's core claim — in range and
+// disjoint across (and within) workloads — before any compilation
+// happens, so a misconfigured placement fails fast with a typed error
+// instead of after seconds of compile work (or, worse, silently
+// overlapping in a caller that never simulates).
+func validateWorkloads(a *Arch, workloads []Workload) error {
+	ncores := a.NumCores()
+	owner := make([]int, ncores)
+	for i := range owner {
+		owner[i] = -1
+	}
+	for wi, w := range workloads {
+		for _, c := range w.Cores {
+			if c < 0 || c >= ncores {
+				return &CoreConflictError{Workload: wi, Core: c, Owner: -1, NumCores: ncores}
+			}
+			if owner[c] >= 0 {
+				return &CoreConflictError{Workload: wi, Core: c, Owner: owner[c], NumCores: ncores}
+			}
+			owner[c] = wi
+		}
+	}
+	return nil
 }
 
 // RunConcurrent compiles each workload for its core subset and
@@ -29,19 +91,37 @@ type MultiReport struct {
 // memory bus — the multi-network concurrency scenario that motivates
 // multicore NPU designs in the paper's introduction.
 func RunConcurrent(a *Arch, workloads []Workload) (*MultiReport, error) {
+	return RunConcurrentCtx(nil, a, workloads, SimConfig{})
+}
+
+// RunConcurrentCtx is RunConcurrent with the caller's simulation
+// configuration threaded through — deadlines and cancellation (ctx is
+// polled at cooperative checkpoints in both the compile pipeline and
+// the shared simulation, like the single-model RunCtx path), fault
+// plans, tracing. Compilation goes through the fingerprint-keyed
+// compile cache, so sweeps re-running identical (model, core subset,
+// options) points compile once. A nil ctx and zero cfg behave exactly
+// like RunConcurrent.
+func RunConcurrentCtx(ctx context.Context, a *Arch, workloads []Workload, cfg SimConfig) (*MultiReport, error) {
+	if err := validateWorkloads(a, workloads); err != nil {
+		return nil, err
+	}
+	if ctx != nil {
+		cfg.Ctx = ctx
+	}
 	placements := make([]sim.Placement, len(workloads))
 	for i, w := range workloads {
 		sub, err := a.Subset(w.Cores)
 		if err != nil {
 			return nil, fmt.Errorf("workload %d: %w", i, err)
 		}
-		res, err := Compile(w.Graph, sub, w.Options)
+		res, err := core.CompileCachedCtx(cfg.Ctx, w.Graph, sub, w.Options)
 		if err != nil {
 			return nil, fmt.Errorf("workload %d (%s): %w", i, w.Graph.Name, err)
 		}
 		placements[i] = sim.Placement{Program: res.Program, Cores: w.Cores}
 	}
-	out, err := sim.RunConcurrent(a, placements, sim.Config{})
+	out, err := sim.RunConcurrent(a, placements, cfg)
 	if err != nil {
 		return nil, err
 	}
