@@ -37,7 +37,7 @@ func fatal(prefix string, err error) {
 }
 
 func main() {
-	which := flag.String("experiment", "all", "fig11, fig12, table1, table2, table4, table5, ablation, concurrent, dse, faults, loadgen, metrics, spm, tenancy, or all")
+	which := flag.String("experiment", "all", "fig11, fig12, table1, table2, table4, table5, ablation, concurrent, dse, faults, loadgen, metrics, resilience, spm, tenancy, or all")
 	metricsOnly := flag.Bool("metrics", false, "print the Figure-10-style utilization table for the Table 2 nets (alias for -experiment metrics)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for compile/simulate sweeps (1 forces serial)")
 	benchJSON := flag.String("bench-json", "", "A/B-benchmark the event simulator engine against the reference engine, write the report to this file, and exit")
@@ -45,6 +45,8 @@ func main() {
 	loadgenJSON := flag.String("loadgen-json", "BENCH_loadgen.json", "output file for the -experiment loadgen fleet-replay report")
 	tenancyJSON := flag.String("tenancy-json", "BENCH_tenancy.json", "output file for the -experiment tenancy multi-tenant serving report")
 	tenancySeed := flag.Uint64("tenancy-seed", 1, "seed for the -experiment tenancy Poisson replay (same seed, byte-identical report)")
+	resilienceJSON := flag.String("resilience-json", "BENCH_resilience.json", "output file for the -experiment resilience hang/SDC detection report")
+	resilienceSeed := flag.Uint64("resilience-seed", 1, "seed for the -experiment resilience fault decisions (same seed, byte-identical report)")
 	dseJSON := flag.String("dse-json", "BENCH_dse.json", "output file for the -experiment dse schedule-search report")
 	dseModels := flag.String("dse-models", "", "comma-separated models for -experiment dse (empty = all Table 2)")
 	dseSeed := flag.Uint64("dse-seed", 1, "seed for the -experiment dse search (same seed, byte-identical report modulo wall-clock)")
@@ -183,6 +185,9 @@ func main() {
 	})
 	run("tenancy", func() error {
 		return runTenancy(os.Stdout, *tenancyJSON, *tenancySeed)
+	})
+	run("resilience", func() error {
+		return runResilience(os.Stdout, *resilienceJSON, *resilienceSeed)
 	})
 	run("dse", func() error {
 		return runDSE(os.Stdout, dseParams{

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+// runResilience is the -experiment resilience hook: hang detection
+// latency vs watchdog heartbeat and silent-data-corruption repair for
+// every Table 2 model, written to BENCH_resilience.json. The report is
+// byte-identical across reruns at the same seed and any -j.
+func runResilience(w io.Writer, benchPath string, seed uint64) error {
+	b, err := experiments.Resilience(seed)
+	if err != nil {
+		return err
+	}
+	experiments.PrintResilience(w, b)
+	f, err := os.Create(benchPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "report written to %s\n", benchPath)
+	return nil
+}

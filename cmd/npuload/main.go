@@ -59,6 +59,7 @@ func main() {
 	batchWindow := flag.Float64("batch-window-us", 0, "per-device batching window, µs (0 = no batching; open loop only)")
 	batchMax := flag.Int("batch-max", 16, "max same-model requests coalesced per batch")
 	batchDiscount := flag.Float64("batch-discount", 0.85, "marginal cost of each batched item after the first (fraction of solo service time)")
+	maxRetries := flag.Int("max-retries", 0, "live mode: re-issue a 429/503-shed request up to this many times with exponential backoff, seeded jitter, and the server's Retry-After as a floor (0 = no retries)")
 	seed := flag.Uint64("seed", 1, "seed for arrival processes and mix sampling; equal seeds reproduce replay reports byte-identically")
 	out := flag.String("out", "", "write the JSON report to this file")
 	csvOut := flag.String("csv", "", "write the per-point CSV curve to this file")
@@ -85,6 +86,7 @@ func main() {
 		BatchWindowUS: *batchWindow,
 		BatchMax:      *batchMax,
 		BatchDiscount: *batchDiscount,
+		MaxRetries:    *maxRetries,
 		Seed:          *seed,
 	}
 	if o.Rates, err = parseFloats(*rates); err != nil {

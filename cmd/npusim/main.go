@@ -75,8 +75,9 @@ func main() {
 	dseIters := flag.Int("dse-iters", 0, "-dse generations per restart (0 = default)")
 	dseBeam := flag.Int("dse-beam", 0, "-dse beam width (0 = default)")
 	dseNeighbors := flag.Int("dse-neighbors", 0, "-dse perturbations per beam genome per generation (0 = default)")
-	faults := flag.String("faults", "", `fault spec, e.g. "drop=0.02,throttle=1@50000x0.5,kill=2@400000"`)
+	faults := flag.String("faults", "", `fault spec, e.g. "drop=0.02,throttle=1@50000x0.5,kill=2@400000,hang=1@50000,flip=0.01"`)
 	faultSeed := flag.Uint64("fault-seed", 0, "seed for probabilistic fault decisions")
+	watchdog := flag.Float64("watchdog", 0, "fault mode: progress-watchdog heartbeat in cycles (0 = off); silent hangs become typed detections the recovery path survives")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for partition planning and reference kernels (1 forces serial)")
 	engine := flag.String("engine", "event", "simulator engine: event (production) or reference (retained oracle; bit-identical, for A/B checks)")
 	strictSPM := flag.Bool("strict-spm", true, "exit non-zero when simulated live SPM bytes overflow a core's capacity; =false tolerates over-budget schedules")
@@ -173,7 +174,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		runFaulted(g, a, opt, res, plan, mo)
+		if err := plan.ValidateFor(a.NumCores()); err != nil {
+			fatal(err)
+		}
+		runFaulted(g, a, opt, res, plan, *watchdog, mo)
 		return
 	}
 
@@ -292,11 +296,12 @@ func runDSE(g *graph.Graph, a *arch.Arch, opt core.Options, p dse.Params) {
 		r.EngineMatch, time.Since(t0).Round(time.Millisecond), parallel.Workers())
 }
 
-// runFaulted simulates under a fault plan and, when a core dies,
-// recovers the unexecuted suffix onto the surviving cores. Metrics
-// observe the first attempt: a completed run reports it whole; a
-// failed one reports the partial execution up to the failure.
-func runFaulted(g *graph.Graph, a *arch.Arch, opt core.Options, res *core.Result, plan *fault.Plan, mo metricsOpts) {
+// runFaulted simulates under a fault plan and, when a core dies or the
+// watchdog catches a silent hang, recovers the unexecuted suffix onto
+// the surviving cores. Metrics observe the first attempt: a completed
+// run reports it whole; a failed one reports the partial execution up
+// to the failure.
+func runFaulted(g *graph.Graph, a *arch.Arch, opt core.Options, res *core.Result, plan *fault.Plan, watchdog float64, mo metricsOpts) {
 	clock := a.ClockMHz
 	printRetries := func(per []sim.CoreStats) {
 		total := 0
@@ -305,6 +310,12 @@ func runFaulted(g *graph.Graph, a *arch.Arch, opt core.Options, res *core.Result
 		}
 		if total > 0 {
 			fmt.Printf("  %d DMA transfers dropped and re-issued\n", total)
+		}
+	}
+	printCorruptions := func(cors []sim.Corruption) {
+		for _, c := range cors {
+			fmt.Printf("  corrupted stratum %d detected at cycle %.0f (%d flipped transfers); re-execute it to repair\n",
+				c.Stratum, c.DetectedAtCycle, c.Transfers)
 		}
 	}
 	emit := func(st *sim.Stats) {
@@ -319,29 +330,47 @@ func runFaulted(g *graph.Graph, a *arch.Arch, opt core.Options, res *core.Result
 	}
 
 	col := mo.collector()
-	out, err := runSim(res.Program, sim.Config{Faults: plan, Hook: col.hook(), NoSPMCheck: noSPMCheck})
+	simCfg := sim.Config{Faults: plan, WatchdogCycles: watchdog, Hook: col.hook(), NoSPMCheck: noSPMCheck}
+	out, err := runSim(res.Program, simCfg)
 	if err == nil {
 		fmt.Printf("%s on %s, %s under faults [%s]: %.1f us end-to-end\n",
 			g.Name, a.Name, opt.Name(), plan, out.Stats.LatencyMicros(clock))
 		printRetries(out.Stats.PerCore)
+		printCorruptions(out.Corruptions)
 		emit(&out.Stats)
 		return
 	}
 	var cf *sim.CoreFailure
-	if !errors.As(err, &cf) {
+	var hd *sim.HangDetected
+	switch {
+	case errors.As(err, &cf):
+		emit(&cf.Partial)
+	case errors.As(err, &hd):
+		emit(&hd.Partial)
+	default:
 		fatal(err)
 	}
-	emit(&cf.Partial)
 
-	rec, err := recovery.Recover(g, a, cf, recovery.Options{Opt: opt, Sim: sim.Config{Faults: plan, NoSPMCheck: noSPMCheck}})
-	if err != nil {
-		fatal(err)
+	rec, rerr := recovery.RecoverFrom(g, a, err, recovery.Options{
+		Opt: opt,
+		Sim: sim.Config{Faults: plan, WatchdogCycles: watchdog, NoSPMCheck: noSPMCheck},
+	})
+	if rerr != nil {
+		fatal(err) // exit with the original typed failure, not the recovery error
 	}
 	fmt.Printf("%s on %s, %s under faults [%s]: degraded but recovered\n",
 		g.Name, a.Name, opt.Name(), plan)
 	for _, f := range rec.Failures {
 		fmt.Printf("  core %s failed (%s) at cycle %.0f, checkpoint %d layers\n",
 			a.Cores[f.Core].Name, f.Kind, f.AtCycle, len(f.Completed))
+	}
+	for _, h := range rec.Hangs {
+		var hung []string
+		for _, c := range h.Cores {
+			hung = append(hung, a.Cores[c].Name)
+		}
+		fmt.Printf("  watchdog caught %v silently hung at cycle %.0f (heartbeat %.0f), checkpoint %d layers\n",
+			hung, h.AtCycle, watchdog, len(h.Completed))
 	}
 	var names []string
 	for _, c := range rec.Survivors {
@@ -353,6 +382,7 @@ func runFaulted(g *graph.Graph, a *arch.Arch, opt core.Options, res *core.Result
 	fmt.Printf("  degraded latency %.1f us (re-dispatch penalties included)\n",
 		merged.LatencyMicros(clock))
 	printRetries(merged.PerCore)
+	printCorruptions(rec.Final.Corruptions)
 }
 
 // simulateFile replays a precompiled program artifact. Compile-side

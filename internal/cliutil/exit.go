@@ -5,6 +5,7 @@ import (
 	"errors"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/tiling"
 )
@@ -37,6 +38,13 @@ const (
 	// ExitCanceled: the run was canceled or timed out (context
 	// cancellation, sim.ErrCanceled).
 	ExitCanceled = 7
+	// ExitHangDetected: the watchdog caught a silently hung core and
+	// the run could not be recovered (sim.HangDetected).
+	ExitHangDetected = 8
+	// ExitBadFaultSpec: the fault plan referenced a core the platform
+	// does not have (fault.CoreRangeError) — a spec bug, not a run
+	// failure; retrying the same invocation cannot succeed.
+	ExitBadFaultSpec = 9
 )
 
 // ExitCode maps an error to the process exit code documented above.
@@ -63,6 +71,14 @@ func ExitCode(err error) int {
 	if errors.As(err, &cf) {
 		return ExitCoreFailure
 	}
+	var hd *sim.HangDetected
+	if errors.As(err, &hd) {
+		return ExitHangDetected
+	}
+	var cr *fault.CoreRangeError
+	if errors.As(err, &cr) {
+		return ExitBadFaultSpec
+	}
 	if errors.Is(err, sim.ErrCanceled) || errors.Is(err, context.Canceled) ||
 		errors.Is(err, context.DeadlineExceeded) {
 		return ExitCanceled
@@ -80,4 +96,6 @@ const ExitCodeDoc = `Exit codes:
   5  a single layer's minimal tile exceeds SPM
   6  core failure (injected fault, unrecovered)
   7  canceled or deadline exceeded
+  8  silent hang detected by the watchdog (unrecovered)
+  9  fault spec references a core the platform does not have
 `

@@ -46,6 +46,19 @@ func (t *Tensor) Fill(seed uint64) {
 	}
 }
 
+// Checksum folds the tensor's contents into a position-sensitive
+// 64-bit digest. It is the numeric model of the simulator's
+// stratum-boundary corruption check: any single flipped element (or
+// any reordering) changes the digest, so comparing checksums detects
+// silent data corruption without keeping a reference copy around.
+func (t *Tensor) Checksum() uint64 {
+	h := splitmix(uint64(t.Shape.H)<<42 ^ uint64(t.Shape.W)<<21 ^ uint64(t.Shape.C))
+	for i, v := range t.Data {
+		h = splitmix(h ^ splitmix(uint64(i)+1) ^ uint64(uint32(v)))
+	}
+	return h
+}
+
 // Equal reports whether two tensors match exactly.
 func (t *Tensor) Equal(o *Tensor) bool {
 	if t.Shape != o.Shape {

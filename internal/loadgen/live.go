@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/metrics"
@@ -73,6 +75,7 @@ func (sm *sampleMix) sample(rng *prng) int {
 // liveItem is one scheduled request flowing through parallel.Stream.
 type liveItem struct {
 	entry int
+	seq   int64
 	sched time.Time
 }
 
@@ -81,9 +84,43 @@ type liveItem struct {
 type liveWorker struct {
 	latency metrics.Histogram
 	failed  int64
+	retried int64
+	gaveUp  int64
 	maxUS   int64
 	done    int64
 	perEnt  []metrics.Histogram
+}
+
+// Retry backoff shape: exponential from retryBase, capped at retryCap,
+// jittered to [0.5x, 1.5x) so a shed burst does not re-arrive as a
+// synchronized burst.
+const (
+	retryBase = 10 * time.Millisecond
+	retryCap  = time.Second
+)
+
+// retryDelay is the wait before re-issuing attempt (1-based) of
+// request seq. The jitter draw is seeded per (request, attempt), so a
+// given schedule backs off identically run to run; the server's
+// Retry-After (seconds) is honored as a floor.
+func retryDelay(seed uint64, seq int64, attempt int, retryAfter string) time.Duration {
+	j := prng(seed ^ uint64(seq)*0x9e3779b97f4a7c15 ^ uint64(attempt)<<32)
+	d := time.Duration(float64(retryBase) * math.Pow(2, float64(attempt-1)) * (0.5 + j.uniform()))
+	if d > retryCap {
+		d = retryCap
+	}
+	if s, err := strconv.Atoi(retryAfter); err == nil && s > 0 {
+		if floor := time.Duration(s) * time.Second; d < floor {
+			d = floor
+		}
+	}
+	return d
+}
+
+// retryable reports whether a status is a shed the client may retry:
+// queue full (429) or draining/not-ready (503).
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
 }
 
 // RunLive drives a live npusim -serve endpoint with real HTTP
@@ -133,7 +170,7 @@ func RunLive(ctx context.Context, target string, mix []MixEntry, o Options) (*Re
 		func(emit func(liveItem) bool) error {
 			t := start
 			for i := int64(0); i < o.Requests; i++ {
-				it := liveItem{entry: sm.sample(&rng), sched: time.Now()}
+				it := liveItem{entry: sm.sample(&rng), seq: i, sched: time.Now()}
 				if rate > 0 {
 					t = t.Add(time.Duration(rng.exp() * 1e6 / rate * float64(time.Microsecond)))
 					time.Sleep(time.Until(t))
@@ -147,24 +184,39 @@ func RunLive(ctx context.Context, target string, mix []MixEntry, o Options) (*Re
 		},
 		func(worker int, it liveItem) error {
 			w := state[worker]
-			resp, err := client.Post(url, "application/json", bytes.NewReader(sm.bodies[it.entry]))
-			if err != nil {
-				return fmt.Errorf("loadgen: POST %s: %w", url, err)
-			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			lat := time.Since(it.sched)
-			w.done++
-			if resp.StatusCode != http.StatusOK {
-				w.failed++
+			for attempt := 0; ; attempt++ {
+				resp, err := client.Post(url, "application/json", bytes.NewReader(sm.bodies[it.entry]))
+				if err != nil {
+					return fmt.Errorf("loadgen: POST %s: %w", url, err)
+				}
+				retryAfter := resp.Header.Get("Retry-After")
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if retryable(resp.StatusCode) && attempt < o.MaxRetries {
+					w.retried++
+					select {
+					case <-ctx.Done():
+						return ctx.Err()
+					case <-time.After(retryDelay(o.Seed, it.seq, attempt+1, retryAfter)):
+					}
+					continue
+				}
+				lat := time.Since(it.sched)
+				w.done++
+				if resp.StatusCode != http.StatusOK {
+					w.failed++
+					if o.MaxRetries > 0 && retryable(resp.StatusCode) {
+						w.gaveUp++
+					}
+					return nil
+				}
+				w.latency.Observe(lat)
+				w.perEnt[it.entry].Observe(lat)
+				if us := lat.Microseconds(); us > w.maxUS {
+					w.maxUS = us
+				}
 				return nil
 			}
-			w.latency.Observe(lat)
-			w.perEnt[it.entry].Observe(lat)
-			if us := lat.Microseconds(); us > w.maxUS {
-				w.maxUS = us
-			}
-			return nil
 		})
 	if err != nil {
 		return nil, err
@@ -178,6 +230,8 @@ func RunLive(ctx context.Context, target string, mix []MixEntry, o Options) (*Re
 			agg.perEnt[e].Merge(&w.perEnt[e])
 		}
 		agg.failed += w.failed
+		agg.retried += w.retried
+		agg.gaveUp += w.gaveUp
 		agg.done += w.done
 		if w.maxUS > agg.maxUS {
 			agg.maxUS = w.maxUS
@@ -197,6 +251,8 @@ func RunLive(ctx context.Context, target string, mix []MixEntry, o Options) (*Re
 		MakespanUS: round3(float64(makespan) / float64(time.Microsecond)),
 		Latency:    summarize(agg.latency.Dist(), agg.maxUS),
 		Failed:     agg.failed,
+		Retried:    agg.retried,
+		GaveUp:     agg.gaveUp,
 	}
 	if makespan > 0 {
 		p.AchievedRPS = round3(float64(agg.done) / makespan.Seconds())

@@ -113,6 +113,11 @@ type Options struct {
 	// a batch's first, as a fraction of the solo service time
 	// (default 0.85).
 	BatchDiscount float64
+	// MaxRetries bounds live-mode re-issues of a request the server
+	// shed with 429 or 503: each retry backs off exponentially with
+	// seeded jitter and honors the server's Retry-After as a floor.
+	// 0 (default) disables retries — every shed counts as Failed.
+	MaxRetries int
 	// Seed seeds every arrival process and mix sampler. Two replay
 	// runs with equal mix, Options, and Seed produce byte-identical
 	// reports.

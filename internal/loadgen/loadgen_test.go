@@ -3,8 +3,12 @@ package loadgen
 import (
 	"bytes"
 	"context"
+	"math"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
@@ -273,5 +277,94 @@ func TestRunLive(t *testing.T) {
 	}
 	if rep.Mode != "live" || rep.Target != ts.URL {
 		t.Errorf("report mode/target = %q/%q", rep.Mode, rep.Target)
+	}
+}
+
+// Shed requests (429/503) are re-issued with backoff under
+// -max-retries: an overloaded-then-recovering endpoint ends with zero
+// failures, and the report accounts every re-issue.
+func TestRunLiveRetriesSheds(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Shed two of every three attempts, alternating 429 and 503.
+		switch hits.Add(1) % 3 {
+		case 1:
+			w.Header().Set("Retry-After", "0") // sub-second floor: ignored
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+		case 2:
+			http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+		default:
+			w.Write([]byte(`{}`))
+		}
+	}))
+	defer ts.Close()
+
+	const n = 12
+	mix := []MixEntry{{Model: "TinyCNN", Weight: 1}}
+	rep, err := RunLive(context.Background(), ts.URL, mix, Options{
+		Requests:   n,
+		Arrival:    ArrivalClosed,
+		Clients:    2,
+		MaxRetries: 8,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rep.Points[0]
+	if p.Requests != n || p.Failed != 0 || p.GaveUp != 0 {
+		t.Fatalf("requests %d failed %d gave up %d, want %d/0/0", p.Requests, p.Failed, p.GaveUp, n)
+	}
+	if p.Retried == 0 {
+		t.Error("sheds were never retried")
+	}
+
+	// Exhausted retries count the request as failed AND given up.
+	always := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	}))
+	defer always.Close()
+	rep, err = RunLive(context.Background(), always.URL, mix, Options{
+		Requests:   4,
+		Arrival:    ArrivalClosed,
+		Clients:    2,
+		MaxRetries: 1,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = rep.Points[0]
+	if p.Failed != 4 || p.GaveUp != 4 || p.Retried != 4 {
+		t.Errorf("always-shedding endpoint: failed %d gave up %d retried %d, want 4/4/4",
+			p.Failed, p.GaveUp, p.Retried)
+	}
+}
+
+// retryDelay grows exponentially, is jittered deterministically per
+// (request, attempt), and honors the Retry-After floor.
+func TestRetryDelayShape(t *testing.T) {
+	for attempt := 1; attempt <= 5; attempt++ {
+		d := retryDelay(7, 3, attempt, "")
+		lo := time.Duration(float64(retryBase) * math.Pow(2, float64(attempt-1)) * 0.5)
+		hi := time.Duration(float64(retryBase) * math.Pow(2, float64(attempt-1)) * 1.5)
+		if hi > retryCap {
+			hi = retryCap
+		}
+		if lo > retryCap {
+			lo = retryCap
+		}
+		if d < lo || d > hi {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", attempt, d, lo, hi)
+		}
+		if again := retryDelay(7, 3, attempt, ""); again != d {
+			t.Errorf("attempt %d: delay not deterministic: %v vs %v", attempt, d, again)
+		}
+	}
+	if a, b := retryDelay(7, 3, 1, ""), retryDelay(7, 4, 1, ""); a == b {
+		t.Error("different requests drew identical jitter")
+	}
+	if d := retryDelay(7, 3, 1, "2"); d != 2*time.Second {
+		t.Errorf("Retry-After floor ignored: %v", d)
 	}
 }

@@ -66,6 +66,11 @@ type Point struct {
 	MeanBatch float64 `json:",omitempty"`
 	// Failed counts non-200 responses (live mode only).
 	Failed int64 `json:",omitempty"`
+	// Retried counts re-issued attempts after a 429/503 shed, and
+	// GaveUp the requests that exhausted MaxRetries and stayed shed
+	// (live mode with -max-retries only).
+	Retried int64 `json:",omitempty"`
+	GaveUp  int64 `json:",omitempty"`
 }
 
 // ModelPoint is one model's slice of a Point.
@@ -144,15 +149,15 @@ func (r *Report) WriteJSON(w io.Writer) error {
 // WriteCSV writes one row per load point: the throughput-vs-offered-
 // load and tail-latency curve in spreadsheet form.
 func (r *Report) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "offered_rps,requests,achieved_rps,makespan_us,mean_us,p50_us,p90_us,p99_us,p999_us,max_us,batches,failed"); err != nil {
+	if _, err := fmt.Fprintln(w, "offered_rps,requests,achieved_rps,makespan_us,mean_us,p50_us,p90_us,p99_us,p999_us,max_us,batches,failed,retried,gave_up"); err != nil {
 		return err
 	}
 	for _, p := range r.Points {
 		l := p.Latency
-		if _, err := fmt.Fprintf(w, "%g,%d,%g,%g,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		if _, err := fmt.Fprintf(w, "%g,%d,%g,%g,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			p.OfferedRPS, p.Requests, p.AchievedRPS, p.MakespanUS,
 			l.MeanUS, l.P50US, l.P90US, l.P99US, l.P999US, l.MaxUS,
-			p.Batches, p.Failed); err != nil {
+			p.Batches, p.Failed, p.Retried, p.GaveUp); err != nil {
 			return err
 		}
 	}

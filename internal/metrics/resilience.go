@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/recovery"
+	"repro/internal/sim"
+)
+
+// ResilienceReport quantifies one detected failure and its recovery:
+// how long the fault ran silently before the watchdog (or the fault's
+// own announcement) caught it, how much finished work was thrown away,
+// and what the degraded end-to-end latency cost relative to a clean
+// run. It marshals directly to JSON (npubench -experiment resilience).
+type ResilienceReport struct {
+	// Kind names the failure class: "hang", "death", or "dma".
+	Kind string `json:"kind"`
+	// InjectedAtCycle is when the fault plan fired the fault.
+	InjectedAtCycle float64 `json:"injected_at_cycle"`
+	// DetectedAtCycle is when the run returned its typed error — the
+	// watchdog heartbeat for hangs, the fault cycle itself for deaths.
+	DetectedAtCycle float64 `json:"detected_at_cycle"`
+	// DetectionLatencyCycles is Detected - Injected. For a hang it is
+	// bounded by twice the heartbeat interval (one beat to land after
+	// the stall, one more if the first beat raced the freeze).
+	DetectionLatencyCycles float64 `json:"detection_latency_cycles"`
+	// HeartbeatCycles is the watchdog interval in force (0 = no
+	// watchdog; detection then relied on the fault announcing itself).
+	HeartbeatCycles float64 `json:"heartbeat_cycles"`
+	// DeadCores and Survivors partition the machine after recovery.
+	DeadCores []int `json:"dead_cores"`
+	Survivors []int `json:"survivors"`
+	// CheckpointedLayers is how much of the network the recovery cut
+	// preserved; ReExecutedLayers is what the final suffix recomputed.
+	CheckpointedLayers int `json:"checkpointed_layers"`
+	ReExecutedLayers   int `json:"reexecuted_layers"`
+	// WastedCycles sums the simulated time of every abandoned attempt —
+	// work that ran but could not be kept (minus nothing: checkpointed
+	// layers still had to be paid for once).
+	WastedCycles float64 `json:"wasted_cycles"`
+	// CleanCycles and DegradedCycles compare the fault-free latency
+	// with the end-to-end recovered one; OverheadPct is the relative
+	// cost, (Degraded-Clean)/Clean * 100.
+	CleanCycles    float64 `json:"clean_cycles"`
+	DegradedCycles float64 `json:"degraded_cycles"`
+	OverheadPct    float64 `json:"overhead_pct"`
+}
+
+// BuildResilience assembles the report for one recovery episode. kind
+// labels the initial failure; injectedAt and heartbeat describe the
+// experiment (heartbeat 0 when no watchdog was armed); clean is the
+// fault-free latency of the same program.
+func BuildResilience(kind string, injectedAt, heartbeat, clean float64, r *recovery.Result) (ResilienceReport, error) {
+	rep := ResilienceReport{
+		Kind:               kind,
+		InjectedAtCycle:    injectedAt,
+		HeartbeatCycles:    heartbeat,
+		DeadCores:          r.DeadCores,
+		Survivors:          r.Survivors,
+		CheckpointedLayers: len(r.Completed),
+		ReExecutedLayers:   r.ReExecutedLayers(),
+		CleanCycles:        clean,
+		DegradedCycles:     r.TotalCycles,
+	}
+	switch kind {
+	case "hang":
+		if len(r.Hangs) == 0 {
+			return rep, fmt.Errorf("metrics: hang episode recorded no hang detections")
+		}
+		rep.DetectedAtCycle = r.Hangs[0].AtCycle
+	case "death", "dma":
+		if len(r.Failures) == 0 {
+			return rep, fmt.Errorf("metrics: %s episode recorded no core failures", kind)
+		}
+		rep.DetectedAtCycle = r.Failures[0].AtCycle
+	default:
+		return rep, fmt.Errorf("metrics: unknown failure kind %q", kind)
+	}
+	rep.DetectionLatencyCycles = rep.DetectedAtCycle - injectedAt
+	if rep.DetectionLatencyCycles < 0 {
+		// A beat can land exactly on the injection cycle; clamp float -0.
+		rep.DetectionLatencyCycles = 0
+	}
+	for _, h := range r.Hangs {
+		rep.WastedCycles += h.AtCycle
+	}
+	for _, f := range r.Failures {
+		rep.WastedCycles += f.AtCycle
+	}
+	if clean > 0 {
+		rep.OverheadPct = (r.TotalCycles - clean) / clean * 100
+	}
+	return rep, nil
+}
+
+// CorruptionReport quantifies silent-data-corruption detection over
+// one run: every injected flip is caught at the next stratum boundary,
+// and repair re-executes only the corrupted strata.
+type CorruptionReport struct {
+	// Detected counts corrupted strata; CorruptedTransfers the flipped
+	// DMA transfers across them.
+	Detected           int `json:"detected"`
+	CorruptedTransfers int `json:"corrupted_transfers"`
+	// FirstDetectedCycle / LastDetectedCycle bracket the detections.
+	FirstDetectedCycle float64 `json:"first_detected_cycle"`
+	LastDetectedCycle  float64 `json:"last_detected_cycle"`
+	// ReExecutedLayers counts the layers of every corrupted stratum —
+	// the bounded blast radius — and ReExecutedCycles the simulated
+	// cost of re-running them (caller-measured).
+	ReExecutedLayers int     `json:"reexecuted_layers"`
+	ReExecutedCycles float64 `json:"reexecuted_cycles"`
+	// CleanCycles and OverheadPct relate repair cost to a clean run.
+	CleanCycles float64 `json:"clean_cycles"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// BuildCorruption assembles the report from a run's detections plus
+// the caller's measured repair cost.
+func BuildCorruption(clean float64, cors []sim.Corruption, reexecLayers int, reexecCycles float64) CorruptionReport {
+	rep := CorruptionReport{
+		Detected:         len(cors),
+		ReExecutedLayers: reexecLayers,
+		ReExecutedCycles: reexecCycles,
+		CleanCycles:      clean,
+	}
+	for i, c := range cors {
+		rep.CorruptedTransfers += c.Transfers
+		if i == 0 || c.DetectedAtCycle < rep.FirstDetectedCycle {
+			rep.FirstDetectedCycle = c.DetectedAtCycle
+		}
+		if c.DetectedAtCycle > rep.LastDetectedCycle {
+			rep.LastDetectedCycle = c.DetectedAtCycle
+		}
+	}
+	if clean > 0 {
+		rep.OverheadPct = reexecCycles / clean * 100
+	}
+	return rep
+}

@@ -55,6 +55,11 @@ type Result struct {
 	// Failures lists every core failure handled, in order (the initial
 	// one first, then any cascades during resumed runs).
 	Failures []*sim.CoreFailure
+	// Hangs lists every watchdog detection handled. A hung core is
+	// retired like a dead one — even a hang that would eventually
+	// resume is not waited for, because the watchdog cannot know the
+	// stall is transient.
+	Hangs []*sim.HangDetected
 	// DeadCores are the global indices lost, in failure order.
 	DeadCores []int
 	// Survivors are the global core indices the final run used.
@@ -154,20 +159,87 @@ func SuffixGraph(g *graph.Graph, completed []graph.LayerID) (*graph.Graph, map[g
 	return suffix, origin, nil
 }
 
+// StratumGraph builds the re-execution graph for one corrupted
+// stratum: exactly the given layers keep their operators, and every
+// producer outside the set becomes a checkpoint input pseudo-layer.
+// This is sound because stratum boundaries publish their outputs to
+// global memory: once the previous stratum's checksum verified, the
+// inputs are DRAM-resident and known-good, so re-running just these
+// layers repairs a silent corruption with a bounded blast radius.
+// The returned map gives each new layer's original ID, as SuffixGraph.
+func StratumGraph(g *graph.Graph, layers []graph.LayerID) (*graph.Graph, map[graph.LayerID]graph.LayerID, error) {
+	in := make(map[graph.LayerID]bool, len(layers))
+	for _, id := range layers {
+		in[id] = true
+	}
+	sub := graph.New(g.Name+"-stratum", g.DType)
+	origin := make(map[graph.LayerID]graph.LayerID)
+	idMap := make(map[graph.LayerID]graph.LayerID) // orig -> sub
+
+	addInput := func(orig *graph.Layer, name string) {
+		nid := sub.Input(name, orig.OutShape)
+		idMap[orig.ID] = nid
+		origin[nid] = orig.ID
+	}
+
+	defaultDType := g.DType
+	for _, l := range g.Layers() {
+		if !in[l.ID] || l.IsInput() {
+			continue
+		}
+		for _, pid := range l.Inputs {
+			if _, ok := idMap[pid]; ok {
+				continue
+			}
+			p := g.Layer(pid)
+			switch {
+			case p.IsInput():
+				addInput(p, p.Name)
+			case !in[pid]:
+				addInput(p, "ckpt_"+p.Name)
+			default:
+				return nil, nil, fmt.Errorf("recovery: stratum layer %s needs %s before it was rebuilt",
+					l.Name, p.Name)
+			}
+		}
+		ins := make([]graph.LayerID, len(l.Inputs))
+		for i, pid := range l.Inputs {
+			ins[i] = idMap[pid]
+		}
+		sub.DType = l.DType
+		nid, err := sub.Add(l.Name, l.Op, ins...)
+		sub.DType = defaultDType
+		if err != nil {
+			return nil, nil, fmt.Errorf("recovery: rebuilding stratum layer %s: %w", l.Name, err)
+		}
+		idMap[l.ID] = nid
+		origin[nid] = l.ID
+	}
+	if sub.Len() == 0 {
+		return nil, nil, fmt.Errorf("recovery: stratum has no layers to re-execute")
+	}
+	return sub, origin, nil
+}
+
 // Recover resumes after a core failure on a program that occupied all
 // of a's cores. It loops until the remaining network completes on the
 // surviving cores or none survive.
 func Recover(g *graph.Graph, a *arch.Arch, failure *sim.CoreFailure, opts Options) (*Result, error) {
+	return RecoverFrom(g, a, failure, opts)
+}
+
+// RecoverFrom is Recover generalized over failure kinds: it accepts
+// either a *sim.CoreFailure (announced death, exhausted DMA retries)
+// or a *sim.HangDetected (watchdog detection of a silent stall). All
+// cores named by a hang are retired like dead ones.
+func RecoverFrom(g *graph.Graph, a *arch.Arch, failure error, opts Options) (*Result, error) {
 	r := &Result{}
 	dead := make(map[int]bool)
 	completedSet := make(map[graph.LayerID]bool)
 
-	absorb := func(f *sim.CoreFailure, origin map[graph.LayerID]graph.LayerID) {
-		r.Failures = append(r.Failures, f)
-		r.DeadCores = append(r.DeadCores, f.Core)
-		dead[f.Core] = true
-		r.TotalCycles += f.AtCycle + opts.redispatch()
-		for _, id := range f.Completed {
+	fold := func(atCycle float64, checkpointed []graph.LayerID, origin map[graph.LayerID]graph.LayerID) {
+		r.TotalCycles += atCycle + opts.redispatch()
+		for _, id := range checkpointed {
 			orig := id
 			if origin != nil {
 				orig = origin[id]
@@ -175,7 +247,28 @@ func Recover(g *graph.Graph, a *arch.Arch, failure *sim.CoreFailure, opts Option
 			completedSet[orig] = true
 		}
 	}
-	absorb(failure, nil)
+	absorb := func(err error, origin map[graph.LayerID]graph.LayerID) bool {
+		switch f := err.(type) {
+		case *sim.CoreFailure:
+			r.Failures = append(r.Failures, f)
+			r.DeadCores = append(r.DeadCores, f.Core)
+			dead[f.Core] = true
+			fold(f.AtCycle, f.Completed, origin)
+			return true
+		case *sim.HangDetected:
+			r.Hangs = append(r.Hangs, f)
+			for _, c := range f.Cores {
+				r.DeadCores = append(r.DeadCores, c)
+				dead[c] = true
+			}
+			fold(f.AtCycle, f.Completed, origin)
+			return true
+		}
+		return false
+	}
+	if !absorb(failure, nil) {
+		return nil, fmt.Errorf("recovery: cannot recover from %T: %w", failure, failure)
+	}
 
 	for {
 		var alive []int
@@ -209,8 +302,7 @@ func Recover(g *graph.Graph, a *arch.Arch, failure *sim.CoreFailure, opts Option
 		// indices keep their meaning (dead cores are unplaced -> inert).
 		out, err := sim.RunConcurrent(a, []sim.Placement{{Program: res.Program, Cores: alive}}, opts.Sim)
 		if err != nil {
-			if cf, ok := err.(*sim.CoreFailure); ok {
-				absorb(cf, origin)
+			if absorb(err, origin) {
 				continue
 			}
 			return nil, err
@@ -254,6 +346,9 @@ func (r *Result) MergedStats() sim.Stats {
 	}
 	for _, f := range r.Failures {
 		add(&f.Partial)
+	}
+	for _, h := range r.Hangs {
+		add(&h.Partial)
 	}
 	add(&r.Final.Stats)
 	for c := range merged.PerCore {

@@ -1,0 +1,280 @@
+package recovery
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+// hangWith compiles g for all of a's cores and runs it under the plan
+// with a watchdog, requiring a hang detection.
+func hangWith(t *testing.T, g *graph.Graph, a *arch.Arch, opt core.Options, cfg sim.Config) *sim.HangDetected {
+	t.Helper()
+	res, err := core.Compile(g, a, opt)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	_, err = sim.Run(res.Program, cfg)
+	var hd *sim.HangDetected
+	if !errors.As(err, &hd) {
+		t.Fatalf("expected hang detection, got %v", err)
+	}
+	return hd
+}
+
+func TestRecoverFromHangDetected(t *testing.T) {
+	// A silent hang, caught by the watchdog, recovers exactly like an
+	// announced death: the hung core is retired and the suffix re-runs
+	// on the survivors, bit-exact.
+	g := models.ConvChain(5, 48, 48, 16)
+	a := arch.Exynos2100Like()
+	opt := core.Base()
+	clean := cleanCycles(t, g, a, opt)
+	cfg := sim.Config{
+		Faults:         &fault.Plan{Hangs: []fault.Hang{{Core: 1, AtCycle: 0.4 * clean}}},
+		WatchdogCycles: 0.05 * clean,
+	}
+	hd := hangWith(t, g, a, opt, cfg)
+	r, err := RecoverFrom(g, a, hd, Options{Opt: opt, Sim: cfg})
+	if err != nil {
+		t.Fatalf("recover from hang: %v", err)
+	}
+	if len(r.Hangs) != 1 || len(r.Failures) != 0 {
+		t.Fatalf("handled %d hangs / %d failures, want 1 / 0", len(r.Hangs), len(r.Failures))
+	}
+	if !reflect.DeepEqual(r.DeadCores, []int{1}) {
+		t.Errorf("dead cores = %v, want [1]", r.DeadCores)
+	}
+	for _, s := range r.Survivors {
+		if s == 1 {
+			t.Error("hung core listed as survivor")
+		}
+	}
+	if r.TotalCycles <= hd.AtCycle {
+		t.Errorf("degraded latency %.0f not beyond detection point %.0f", r.TotalCycles, hd.AtCycle)
+	}
+	if err := Validate(g, r); err != nil {
+		t.Errorf("recovered numerics wrong: %v", err)
+	}
+	merged := r.MergedStats()
+	if merged.TotalCycles != r.TotalCycles {
+		t.Errorf("merged cycles %.0f != result %.0f", merged.TotalCycles, r.TotalCycles)
+	}
+	// The wasted pre-detection work must show up in the account.
+	if merged.TotalMACs() < g.TotalMACs() {
+		t.Errorf("merged MACs %d below one clean inference %d", merged.TotalMACs(), g.TotalMACs())
+	}
+}
+
+func TestCascadedHangThenKill(t *testing.T) {
+	// Core 0 silently hangs and is detected; the remapped two-core run
+	// then loses core 1 to an announced death (plan times are per-run
+	// local clocks), and Remap runs a second time onto core 2 alone.
+	// The final compiled suffix must be bit-identical to a fresh
+	// compile on the final survivor set.
+	g := models.ConvChain(5, 48, 48, 16)
+	a := arch.Exynos2100Like()
+	opt := core.Base()
+	clean := cleanCycles(t, g, a, opt)
+	cfg := sim.Config{
+		Faults: &fault.Plan{
+			Hangs:  []fault.Hang{{Core: 0, AtCycle: 0.2 * clean}},
+			Deaths: []fault.Death{{Core: 1, AtCycle: 0.5 * clean}},
+		},
+		WatchdogCycles: 0.05 * clean,
+	}
+	// The watchdog fires around 0.2*clean, well before the death at
+	// 0.5*clean, so the first failure is the hang.
+	hd := hangWith(t, g, a, opt, cfg)
+	if !reflect.DeepEqual(hd.Cores, []int{0}) {
+		t.Fatalf("first failure stalls cores %v, want [0]", hd.Cores)
+	}
+	r, err := RecoverFrom(g, a, hd, Options{Opt: opt, Sim: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Hangs) != 1 || len(r.Failures) != 1 {
+		t.Fatalf("handled %d hangs / %d failures, want 1 / 1 (dead: %v)",
+			len(r.Hangs), len(r.Failures), r.DeadCores)
+	}
+	if r.Failures[0].Core != 1 {
+		t.Errorf("cascaded death on core %d, want 1", r.Failures[0].Core)
+	}
+	if !reflect.DeepEqual(r.Survivors, []int{2}) {
+		t.Fatalf("survivors = %v, want [2]", r.Survivors)
+	}
+	if err := Validate(g, r); err != nil {
+		t.Errorf("recovered numerics wrong: %v", err)
+	}
+
+	// Fresh compile of the same remainder on the final survivor set:
+	// instruction streams and clean simulations must match the cached
+	// program the recovery loop actually ran.
+	sub, err := a.Subset(r.Survivors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suffix := g
+	if len(r.Completed) > 0 {
+		suffix, _, err = SuffixGraph(g, r.Completed)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh, err := core.Compile(suffix, sub, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh.Program.Cores, r.Compiled.Program.Cores) {
+		t.Error("recovered program's instruction streams differ from a fresh compile")
+	}
+	a1, err := sim.Run(r.Compiled.Program, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := sim.Run(fresh.Program, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a1.Stats, a2.Stats) {
+		t.Error("recovered program simulates differently from a fresh compile")
+	}
+}
+
+// reexecStratum numerically re-executes a corrupted stratum's rebuilt
+// graph with checkpoint inputs taken from the whole-graph reference and
+// proves every recomputed layer bit-exact.
+func reexecStratum(t *testing.T, g *graph.Graph, sub *graph.Graph, origin map[graph.LayerID]graph.LayerID,
+	ref map[graph.LayerID]*exec.Tensor) {
+	t.Helper()
+	out := make(map[graph.LayerID]*exec.Tensor, sub.Len())
+	for _, l := range sub.Layers() {
+		orig := origin[l.ID]
+		if l.IsInput() {
+			if g.Layer(orig).IsInput() {
+				tt := exec.NewTensor(l.OutShape)
+				tt.Fill(0xBEEF + uint64(orig))
+				out[l.ID] = tt
+			} else {
+				out[l.ID] = ref[orig]
+			}
+			continue
+		}
+		ins := make([]*exec.View, len(l.Inputs))
+		for j, pid := range l.Inputs {
+			ins[j] = exec.WholeView(out[pid])
+		}
+		v, err := exec.Apply(l.Op, tensor.WholeRegion(l.OutShape), ins, sub.InShapes(l), exec.WeightsFor(orig))
+		if err != nil {
+			t.Fatalf("re-execute %s: %v", l.Name, err)
+		}
+		tt := exec.NewTensor(l.OutShape)
+		v.CopyInto(tt)
+		out[l.ID] = tt
+		if tt.Checksum() != ref[orig].Checksum() || !tt.Equal(ref[orig]) {
+			t.Errorf("re-executed layer %s differs from reference", l.Name)
+		}
+	}
+}
+
+func TestStratumReexecutionRepairsCorruption(t *testing.T) {
+	// Bit flips detected at stratum boundaries re-execute only the
+	// corrupted stratum: its inputs are DRAM-resident, so StratumGraph
+	// plus the reference executor reproduces the checkpointed bits.
+	g := models.ConvChain(5, 48, 48, 16)
+	a := arch.Exynos2100Like()
+	res, err := core.Compile(g, a, core.Stratum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.Run(res.Program, sim.Config{
+		Faults: &fault.Plan{Seed: 13, FlipRate: 0.25},
+	})
+	if err != nil {
+		t.Fatalf("flip run failed: %v", err)
+	}
+	if len(out.Corruptions) == 0 {
+		t.Fatal("25% flip rate produced no detected corruptions")
+	}
+	ref, err := exec.RunReference(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range out.Corruptions {
+		layers := sim.StratumLayers(res.Program, c.Stratum)
+		// Checksum catches the corruption: flipping any element of a
+		// stratum output changes the digest.
+		for _, id := range layers {
+			if g.Layer(id).IsInput() {
+				continue
+			}
+			bad := exec.NewTensor(ref[id].Shape)
+			copy(bad.Data, ref[id].Data)
+			bad.Data[len(bad.Data)/2] ^= 1 << 6
+			if bad.Checksum() == ref[id].Checksum() {
+				t.Fatalf("layer %d: checksum blind to a single bit flip", id)
+			}
+		}
+		var compute []graph.LayerID
+		for _, id := range layers {
+			if !g.Layer(id).IsInput() {
+				compute = append(compute, id)
+			}
+		}
+		if len(compute) == 0 {
+			continue
+		}
+		sub, origin, err := StratumGraph(g, compute)
+		if err != nil {
+			t.Fatalf("stratum %d: %v", c.Stratum, err)
+		}
+		// Blast radius is bounded: only the corrupted stratum rebuilds.
+		n := 0
+		for _, l := range sub.Layers() {
+			if !l.IsInput() {
+				n++
+			}
+		}
+		if n != len(compute) {
+			t.Errorf("stratum %d: rebuilt %d layers, want %d", c.Stratum, n, len(compute))
+		}
+		reexecStratum(t, g, sub, origin, ref)
+	}
+}
+
+func TestChecksumDetectsAnySingleFlip(t *testing.T) {
+	tt := exec.NewTensor(tensor.NewShape(6, 5, 4))
+	tt.Fill(0x5EED)
+	sum := tt.Checksum()
+	for i := range tt.Data {
+		for bit := 0; bit < 32; bit += 7 {
+			tt.Data[i] ^= 1 << bit
+			if tt.Checksum() == sum {
+				t.Fatalf("checksum blind to flip of bit %d at element %d", bit, i)
+			}
+			tt.Data[i] ^= 1 << bit
+		}
+	}
+	if tt.Checksum() != sum {
+		t.Fatal("checksum not deterministic after restore")
+	}
+	// Position sensitivity: swapping two unequal elements must change
+	// the digest even though the multiset of values is unchanged.
+	i, j := 0, len(tt.Data)-1
+	for tt.Data[i] == tt.Data[j] && j > 0 {
+		j--
+	}
+	tt.Data[i], tt.Data[j] = tt.Data[j], tt.Data[i]
+	if tt.Checksum() == sum {
+		t.Error("checksum blind to element reordering")
+	}
+}

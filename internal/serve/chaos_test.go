@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/recovery"
 	"repro/internal/sim"
 )
 
@@ -32,11 +34,22 @@ type chaosBaseline struct {
 	instrs      int
 	clean       sim.Stats
 	faulted     sim.Stats
-	faultedFail bool // deterministic fault plan kills the run
+	faultedFail bool    // deterministic fault plan kills the run
+	degraded    float64 // recovered end-to-end cycles after the hang
+	corruptions int     // strata the flip plan corrupts
 }
 
 const chaosFaultSpec = "drop=0.05"
 const chaosFaultSeed = 42
+
+// The hang soak: core 1 silently stalls early, the watchdog catches it
+// within two beats, and (with Recover set) the request completes
+// degraded on the survivors.
+const (
+	chaosHangSpec = "hang=1@1000"
+	chaosWatchdog = 5000
+	chaosFlipSpec = "flip=0.3"
+)
 
 // TestChaosSoak hammers an in-process server with concurrent clean
 // runs, fault-injected runs, client cancellations, 1ms deadlines,
@@ -70,6 +83,36 @@ func TestChaosSoak(t *testing.T) {
 		} else {
 			b.faulted = faulted.Stats
 		}
+		// Ground truth for the hang-and-recover path: the watchdog must
+		// detect, and recovery on the survivors is deterministic.
+		hangPlan, err := fault.ParseSpec(chaosHangSpec, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hangCfg := sim.Config{Faults: hangPlan, WatchdogCycles: chaosWatchdog}
+		_, herr := sim.Run(res.Program, hangCfg)
+		var hd *sim.HangDetected
+		if !errors.As(herr, &hd) {
+			t.Fatalf("%s: hang soak plan did not trigger detection: %v", name, herr)
+		}
+		rec, err := recovery.RecoverFrom(g, a, herr, recovery.Options{Opt: core.Stratum(), Sim: hangCfg})
+		if err != nil {
+			t.Fatalf("%s: hang recovery baseline: %v", name, err)
+		}
+		b.degraded = rec.TotalCycles
+		// Ground truth for flip detection counts.
+		flipPlan, err := fault.ParseSpec(chaosFlipSpec, chaosFaultSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flipped, err := sim.Run(res.Program, sim.Config{Faults: flipPlan})
+		if err != nil {
+			t.Fatalf("%s: flip run failed: %v", name, err)
+		}
+		if len(flipped.Corruptions) == 0 {
+			t.Fatalf("%s: flip soak plan corrupts nothing", name)
+		}
+		b.corruptions = len(flipped.Corruptions)
 		baselines[name] = b
 	}
 
@@ -153,7 +196,7 @@ func TestChaosSoak(t *testing.T) {
 // every case accepts that alongside its specific expectation.
 func chaosStep(ts *httptest.Server, rng *rand.Rand, names []string, baselines map[string]*chaosBaseline) error {
 	model := names[rng.Intn(len(names))]
-	switch rng.Intn(6) {
+	switch rng.Intn(9) {
 	case 0: // clean run: bit-identical to the direct engine run
 		code, rr, er := doRun(ts, nil, RunRequest{Model: model})
 		switch code {
@@ -236,6 +279,61 @@ func chaosStep(ts *httptest.Server, rng *rand.Rand, names []string, baselines ma
 			default:
 				return fmt.Errorf("injected panic: status %d %+v", code, er)
 			}
+		}
+	case 6: // silent hang, watchdog armed, no recovery: typed 422
+		code, _, er := doRun(ts, nil, RunRequest{
+			Model: model, Faults: chaosHangSpec, WatchdogCycles: chaosWatchdog,
+		})
+		switch code {
+		case http.StatusUnprocessableEntity:
+			if er.Kind != "hang_detected" {
+				return fmt.Errorf("hang fault: kind %q, want hang_detected", er.Kind)
+			}
+		case http.StatusTooManyRequests:
+		default:
+			return fmt.Errorf("hang fault: status %d %+v", code, er)
+		}
+	case 7: // silent hang with recovery: degraded 200, bit-identical
+		code, rr, er := doRun(ts, nil, RunRequest{
+			Model: model, Faults: chaosHangSpec, WatchdogCycles: chaosWatchdog, Recover: true,
+		})
+		switch code {
+		case http.StatusOK:
+			if !rr.Degraded {
+				return fmt.Errorf("recovered hang on %s not marked degraded", model)
+			}
+			if len(rr.DeadCores) != 1 || rr.DeadCores[0] != 1 {
+				return fmt.Errorf("recovered hang on %s retired cores %v, want [1]", model, rr.DeadCores)
+			}
+			if b := baselines[model]; rr.TotalCycles != b.degraded {
+				return fmt.Errorf("recovered hang on %s served %v cycles, direct recovery says %v",
+					model, rr.TotalCycles, b.degraded)
+			}
+		case http.StatusTooManyRequests:
+		default:
+			return fmt.Errorf("recovered hang: status %d %+v", code, er)
+		}
+	case 8: // bit flips: run completes, corruption count bit-identical
+		code, rr, er := doRun(ts, nil, RunRequest{
+			Model: model, Faults: chaosFlipSpec, FaultSeed: chaosFaultSeed,
+		})
+		switch code {
+		case http.StatusOK:
+			b := baselines[model]
+			if rr.Corruptions != b.corruptions {
+				return fmt.Errorf("flips on %s: served %d corruptions, direct run says %d",
+					model, rr.Corruptions, b.corruptions)
+			}
+			if rr.TotalCycles != b.clean.TotalCycles {
+				return fmt.Errorf("flips on %s changed timing: %v vs clean %v",
+					model, rr.TotalCycles, b.clean.TotalCycles)
+			}
+			if rr.Degraded {
+				return fmt.Errorf("flips on %s marked the run degraded", model)
+			}
+		case http.StatusTooManyRequests:
+		default:
+			return fmt.Errorf("flips on %s: status %d %+v", model, code, er)
 		}
 	}
 	return nil

@@ -38,6 +38,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/models"
+	"repro/internal/recovery"
 	"repro/internal/serialize"
 	"repro/internal/sim"
 	"repro/internal/tenancy"
@@ -106,10 +107,21 @@ type RunRequest struct {
 	// is — queued, compiling, or mid-simulation.
 	TimeoutMS int `json:",omitempty"`
 	// Faults optionally injects faults into the simulation, in
-	// fault.ParseSpec syntax ("drop=0.02,kill=2@400000").
+	// fault.ParseSpec syntax ("drop=0.02,kill=2@400000,hang=1@30000").
 	Faults string `json:",omitempty"`
 	// FaultSeed seeds the fault plan's probabilistic decisions.
 	FaultSeed uint64 `json:",omitempty"`
+	// WatchdogCycles arms the simulator's progress watchdog: every this
+	// many simulated cycles, cores with pending work are checked for
+	// forward progress, so a silent hang becomes a typed hang_detected
+	// failure instead of a deadline miss. 0 leaves the watchdog off.
+	WatchdogCycles float64 `json:",omitempty"`
+	// Recover degrades instead of failing: when a core dies or the
+	// watchdog detects a hang, the unexecuted suffix is re-mapped onto
+	// the surviving cores and the request completes 200 with
+	// Degraded=true and merged (wasted + recovered) statistics. False
+	// keeps the typed 422 failure.
+	Recover bool `json:",omitempty"`
 }
 
 // RunResponse is the POST /run success body. The cycle-level fields
@@ -127,6 +139,15 @@ type RunResponse struct {
 	CacheHit      bool
 	CompileMS     float64 `json:",omitempty"`
 	ElapsedMS     float64
+	// Degraded reports that the run lost cores mid-request and
+	// completed via recovery on the survivors (RunRequest.Recover);
+	// DeadCores lists the cores retired, in failure order. TotalCycles
+	// then covers the wasted attempts, re-dispatch, and the final run.
+	Degraded  bool  `json:",omitempty"`
+	DeadCores []int `json:",omitempty"`
+	// Corruptions counts strata whose boundary checksums caught flipped
+	// DMA payloads (fault spec flip=RATE). The run still completes.
+	Corruptions int `json:",omitempty"`
 }
 
 // TenantsRequest is the POST /tenants body: a multi-tenant serving
@@ -153,8 +174,9 @@ type TenantsRequest struct {
 type ErrorResponse struct {
 	Error string
 	// Kind classifies the failure: "bad_request", "unfit",
-	// "spm_overflow", "cannot_fit", "core_failure", "deadline",
-	// "canceled", "queue_full", "draining", "panic", "internal".
+	// "spm_overflow", "cannot_fit", "core_failure", "hang_detected",
+	// "deadline", "canceled", "queue_full", "draining", "panic",
+	// "internal".
 	Kind string
 	// Retryable hints whether the same request may succeed later.
 	Retryable bool
@@ -503,6 +525,9 @@ func (s *Server) decodeRequest(r *http.Request) (*RunRequest, error) {
 	if req.TimeoutMS < 0 {
 		return nil, fmt.Errorf("negative TimeoutMS %d", req.TimeoutMS)
 	}
+	if req.WatchdogCycles < 0 {
+		return nil, fmt.Errorf("negative WatchdogCycles %g", req.WatchdogCycles)
+	}
 	if req.Cores == 0 {
 		req.Cores = 3
 	}
@@ -565,9 +590,39 @@ func (s *Server) execute(ctx context.Context, req *RunRequest) (resp *RunRespons
 		compileMS = 0
 	}
 
-	out, err := sim.Run(res.Program, sim.Config{Ctx: ctx, Faults: plan})
+	simCfg := sim.Config{Ctx: ctx, Faults: plan, WatchdogCycles: req.WatchdogCycles}
+	out, err := sim.Run(res.Program, simCfg)
 	if err != nil {
-		return nil, err
+		if !req.Recover || !recoverable(err) {
+			return nil, err
+		}
+		// Degrade instead of failing: retire the lost cores, re-map the
+		// unexecuted suffix onto the survivors, and answer 200 with the
+		// merged account. The original typed failure is preserved if the
+		// survivors cannot finish either.
+		rec, rerr := recovery.RecoverFrom(g, a, err, recovery.Options{Opt: opt, Sim: simCfg})
+		if rerr != nil {
+			if errors.Is(rerr, context.Canceled) || errors.Is(rerr, context.DeadlineExceeded) {
+				return nil, rerr
+			}
+			return nil, err
+		}
+		merged := rec.MergedStats()
+		return &RunResponse{
+			Model:         g.Name,
+			Config:        opt.Name(),
+			Cores:         a.NumCores(),
+			TotalCycles:   merged.TotalCycles,
+			LatencyMicros: merged.LatencyMicros(a.ClockMHz),
+			Barriers:      merged.Barriers,
+			Instrs:        res.Program.NumInstrs(),
+			Fallback:      res.Fallback.String(),
+			CacheHit:      hit,
+			CompileMS:     compileMS,
+			Degraded:      true,
+			DeadCores:     rec.DeadCores,
+			Corruptions:   len(rec.Final.Corruptions),
+		}, nil
 	}
 	return &RunResponse{
 		Model:         g.Name,
@@ -580,7 +635,16 @@ func (s *Server) execute(ctx context.Context, req *RunRequest) (resp *RunRespons
 		Fallback:      res.Fallback.String(),
 		CacheHit:      hit,
 		CompileMS:     compileMS,
+		Corruptions:   len(out.Corruptions),
 	}, nil
+}
+
+// recoverable reports whether an execution error is a lost-cores
+// failure the in-request recovery path can degrade through.
+func recoverable(err error) bool {
+	var cf *sim.CoreFailure
+	var hd *sim.HangDetected
+	return errors.As(err, &cf) || errors.As(err, &hd)
 }
 
 // decodeTenantsRequest parses and validates the POST /tenants body.
@@ -701,6 +765,14 @@ func errStatus(err error) (code int, kind string, retryable bool) {
 	var cf *sim.CoreFailure
 	if errors.As(err, &cf) {
 		return http.StatusUnprocessableEntity, "core_failure", false
+	}
+	var hd *sim.HangDetected
+	if errors.As(err, &hd) {
+		return http.StatusUnprocessableEntity, "hang_detected", false
+	}
+	var cre *fault.CoreRangeError
+	if errors.As(err, &cre) {
+		return http.StatusBadRequest, "bad_request", false
 	}
 	if errors.Is(err, context.DeadlineExceeded) {
 		return http.StatusGatewayTimeout, "deadline", true

@@ -163,6 +163,24 @@ type machine struct {
 	dueCompute  []int32
 	dueBarriers []int32
 
+	// Watchdog: heartbeat interval (0 = off), next beat time, and the
+	// scratch list of cores found stalled at the current beat.
+	wdH        float64
+	nextBeat   float64
+	wdCulprits []int
+
+	// Stratum-boundary checksum state (FlipRate > 0 only), flattened
+	// like the layer accounting: placement pi's strata occupy
+	// [strOff[pi]:strOff[pi+1]]. layerStr maps a flattened layer to
+	// its local stratum index; strLeft counts unfinished instructions
+	// per stratum; strFlips counts corrupted transfers per stratum.
+	flipOn   bool
+	strOff   []int32
+	layerStr []int32
+	strLeft  []int32
+	strFlips []int32
+	corrupt  []Corruption // handed to the caller, fresh per run
+
 	now       float64
 	completed int
 }
@@ -190,6 +208,7 @@ func (m *machine) release() {
 	m.fsStore.plan = nil
 	m.stats = Stats{}
 	m.trace = nil
+	m.corrupt = nil
 }
 
 func (m *machine) speedOf(c int) float64 {
@@ -383,6 +402,54 @@ func (m *machine) run(a *arch.Arch, placements []Placement, cfg Config) (*Result
 		}
 	}
 
+	// Watchdog heartbeat: only meaningful when faults are injected (a
+	// fault-free run cannot stall), which also keeps the fault-free
+	// fast path untouched.
+	m.wdH = 0
+	if cfg.WatchdogCycles > 0 && m.fs != nil {
+		m.wdH = cfg.WatchdogCycles
+	}
+	m.nextBeat = m.wdH
+	m.wdCulprits = m.wdCulprits[:0]
+
+	// Stratum-boundary checksum accounting for silent-corruption
+	// detection. Programs without strata (base config) checksum at
+	// every layer boundary instead.
+	m.flipOn = m.fs != nil && m.fs.plan.FlipRate > 0
+	m.corrupt = nil
+	if m.flipOn {
+		nl := int(m.layerOff[len(placements)])
+		m.layerStr = resizeInt32Fill(m.layerStr, nl, -1)
+		m.strOff = m.strOff[:0]
+		ns := 0
+		for pi, pl := range placements {
+			m.strOff = append(m.strOff, int32(ns))
+			off := int(m.layerOff[pi])
+			if len(pl.Program.Strata) == 0 {
+				for l := 0; l < pl.Program.Graph.Len(); l++ {
+					m.layerStr[off+l] = int32(l)
+				}
+				ns += pl.Program.Graph.Len()
+				continue
+			}
+			for si, s := range pl.Program.Strata {
+				for _, id := range s {
+					m.layerStr[off+int(id)] = int32(si)
+				}
+			}
+			ns += len(pl.Program.Strata)
+		}
+		m.strOff = append(m.strOff, int32(ns))
+		m.strLeft = resizeInt32(m.strLeft, ns)
+		m.strFlips = resizeInt32(m.strFlips, ns)
+		for nid := 0; nid < total; nid++ {
+			pi := int(m.progOf[nid])
+			if si := m.layerStr[int(m.layerOff[pi])+int(m.nodes[nid].in.Layer)]; si >= 0 {
+				m.strLeft[int(m.strOff[pi])+int(si)]++
+			}
+		}
+	}
+
 	m.stats = Stats{
 		PerCore:       make([]CoreStats, ncores),
 		Barriers:      totalBarriers,
@@ -420,22 +487,50 @@ func (m *machine) run(a *arch.Arch, placements []Placement, cfg Config) (*Result
 			return nil, err
 		}
 		// Fault events due now fire before new work issues: a throttle
-		// rescales the core's in-flight compute (and its DMA capacity,
-		// via the dirty rebuild); a death fails the run if the core
-		// still owes instructions (and is inert otherwise).
+		// or silent slowdown rescales the core's in-flight compute (and
+		// its DMA capacity, via the dirty rebuild); a hang freezes the
+		// core entirely; a death fails the run if the core still owes
+		// instructions (and is inert otherwise).
 		if m.fs != nil {
 			for _, ev := range m.fs.fire(m.now) {
-				if ev.death {
+				switch ev.kind {
+				case fault.KindDeath:
 					if m.owner[ev.core] >= 0 && m.pending[ev.core] > 0 {
 						return nil, m.failCore(FailCoreDeath, ev.core)
 					}
 					continue
-				}
-				if nid := m.busyN[ev.core*numEngines+int(plan.EngineCompute)]; nid >= 0 {
-					n := &m.nodes[nid]
-					if n.finish > m.now {
-						n.finish = m.now + (n.finish-m.now)*ev.oldSpeed/ev.newSpeed
-						m.heap.update(evCompute, nid, n.finish)
+				case fault.KindHang:
+					// Freeze in-flight compute: bank the unit-speed work
+					// left and park the node until the resume (if any).
+					// In-flight DMA freezes through the rebuild (zero
+					// capacity, zero water-filled rate), and nothing new
+					// issues while the core is hung.
+					if nid := m.busyN[ev.core*numEngines+int(plan.EngineCompute)]; nid >= 0 {
+						n := &m.nodes[nid]
+						if n.finish > m.now && ev.oldSpeed > 0 {
+							n.remaining = (n.finish - m.now) * ev.oldSpeed
+							n.finish = math.Inf(1)
+							m.heap.remove(evCompute, nid)
+						}
+					}
+				case fault.KindResume:
+					if nid := m.busyN[ev.core*numEngines+int(plan.EngineCompute)]; nid >= 0 {
+						n := &m.nodes[nid]
+						if math.IsInf(n.finish, 1) && ev.newSpeed > 0 {
+							n.finish = m.now + n.remaining/ev.newSpeed
+							m.heap.update(evCompute, nid, n.finish)
+						}
+					}
+					for e := 0; e < numEngines; e++ {
+						m.pushReady(int32(ev.core*numEngines + e))
+					}
+				default: // announced throttle or silent slowdown
+					if nid := m.busyN[ev.core*numEngines+int(plan.EngineCompute)]; nid >= 0 {
+						n := &m.nodes[nid]
+						if n.finish > m.now && ev.oldSpeed > 0 && ev.newSpeed > 0 {
+							n.finish = m.now + (n.finish-m.now)*ev.oldSpeed/ev.newSpeed
+							m.heap.update(evCompute, nid, n.finish)
+						}
 					}
 				}
 				m.dirty = true
@@ -448,6 +543,22 @@ func (m *machine) run(a *arch.Arch, placements []Placement, cfg Config) (*Result
 		if m.spmOn {
 			if err := m.checkSPM(); err != nil {
 				return nil, err
+			}
+		}
+
+		// Watchdog beat: after issue (so "idle engine with an issuable
+		// head" is genuine evidence of a stall, not a not-yet-processed
+		// wake). A barren beat on a quiescent machine is a deadlock,
+		// handled below.
+		beatBarren := false
+		if m.wdH > 0 && m.now >= m.nextBeat-eps {
+			m.scanStalled()
+			if len(m.wdCulprits) > 0 {
+				return nil, m.hangDetected()
+			}
+			beatBarren = true
+			for m.nextBeat <= m.now+eps {
+				m.nextBeat += m.wdH
 			}
 		}
 
@@ -479,7 +590,15 @@ func (m *machine) run(a *arch.Arch, placements []Placement, cfg Config) (*Result
 			next = top.t
 		}
 		if math.IsInf(next, 1) {
-			return nil, fmt.Errorf("sim: deadlock at t=%.0f with %d/%d instructions done", m.now, m.completed, total)
+			// Quiescent. With the watchdog on, give it one more beat to
+			// name the culprits — unless the beat just ran and found
+			// none, in which case this is a genuine deadlock.
+			if m.wdH <= 0 || beatBarren {
+				return nil, deadlockError(m.now, m.completed, total, m.hungPending())
+			}
+		}
+		if m.wdH > 0 && m.nextBeat < next {
+			next = m.nextBeat
 		}
 		if next < m.now {
 			next = m.now
@@ -548,7 +667,7 @@ func (m *machine) run(a *arch.Arch, placements []Placement, cfg Config) (*Result
 		// (the final transfer's completion need not trigger a rebuild).
 		h.OnBus(BusSample{At: m.now})
 	}
-	return &Result{Stats: m.stats, Trace: m.trace}, nil
+	return &Result{Stats: m.stats, Trace: m.trace, Corruptions: m.corrupt}, nil
 }
 
 func (m *machine) pushReady(ei int32) {
@@ -569,6 +688,9 @@ func (m *machine) issueReady() {
 		m.readyFlag[ei] = false
 		if m.busyN[ei] >= 0 || m.qPos[ei] >= m.qOff[ei+1] {
 			continue
+		}
+		if m.fs != nil && m.fs.hung[int(ei)/numEngines] {
+			continue // silently stalled: nothing issues until the resume
 		}
 		nid := m.qBuf[m.qPos[ei]]
 		n := &m.nodes[nid]
@@ -709,6 +831,11 @@ func (m *machine) completeDMA() *CoreFailure {
 			m.heap.update(evSetup, nid, n.setupUntil)
 			continue
 		}
+		// A silent bit-flip corrupts the delivered bytes without any
+		// signal; the stratum-boundary checksum catches it later.
+		if m.flipOn && m.fs.plan.Flips(int(nid), n.attempt) {
+			n.flipped = true
+		}
 		m.finishNode(int(nid), m.now)
 	}
 	return nil
@@ -747,6 +874,25 @@ func (m *machine) finishNode(nid int, t float64) {
 	if m.fs != nil {
 		m.layerDone[int(m.layerOff[m.progOf[nid]])+int(n.in.Layer)]++
 		m.pending[c]--
+	}
+	if m.flipOn {
+		pi := int(m.progOf[nid])
+		if si := m.layerStr[int(m.layerOff[pi])+int(n.in.Layer)]; si >= 0 {
+			g := int(m.strOff[pi]) + int(si)
+			if n.flipped {
+				m.strFlips[g]++
+			}
+			m.strLeft[g]--
+			// Stratum complete: verify its boundary checksum. Any
+			// corrupted transfer inside it is detected here, bounding
+			// the re-execution blast radius to this stratum.
+			if m.strLeft[g] == 0 && m.strFlips[g] > 0 {
+				m.corrupt = append(m.corrupt, Corruption{
+					Placement: pi, Stratum: int(si),
+					DetectedAtCycle: t, Transfers: int(m.strFlips[g]),
+				})
+			}
+		}
 	}
 	m.appendBusy(c, n.start, t)
 	if m.cfg.CollectTrace {
@@ -844,8 +990,9 @@ func (m *machine) syncFaultEvent() {
 	m.heap.update(evFault, 0, t)
 }
 
-// failCore snapshots the run state into a typed CoreFailure.
-func (m *machine) failCore(kind FailureKind, core int) *CoreFailure {
+// partialStats snapshots the statistics accumulated so far, with idle
+// time recomputed up to the current cycle.
+func (m *machine) partialStats() Stats {
 	partial := m.stats
 	partial.PerCore = append([]CoreStats(nil), m.stats.PerCore...)
 	partial.ProgramCycles = append([]float64(nil), m.stats.ProgramCycles...)
@@ -857,16 +1004,94 @@ func (m *machine) failCore(kind FailureKind, core int) *CoreFailure {
 		}
 		partial.PerCore[c].Idle = idle
 	}
-	pi := int(m.owner[core])
-	var comp []graph.LayerID
-	if pi >= 0 {
-		lo, hi := m.layerOff[pi], m.layerOff[pi+1]
-		comp = checkpoint(m.placements[pi].Program, m.layerDone[lo:hi], m.layerTotal[lo:hi], m.layerStore[lo:hi])
+	return partial
+}
+
+// checkpointOf computes the recovery cut for placement pi (-1 or an
+// unassigned core yields nil).
+func (m *machine) checkpointOf(pi int) []graph.LayerID {
+	if pi < 0 {
+		return nil
 	}
+	lo, hi := m.layerOff[pi], m.layerOff[pi+1]
+	return checkpoint(m.placements[pi].Program, m.layerDone[lo:hi], m.layerTotal[lo:hi], m.layerStore[lo:hi])
+}
+
+// failCore snapshots the run state into a typed CoreFailure.
+func (m *machine) failCore(kind FailureKind, core int) *CoreFailure {
+	pi := int(m.owner[core])
 	return &CoreFailure{
 		Kind: kind, Core: core, Placement: pi, AtCycle: m.now,
-		Completed: comp, Partial: partial,
+		Completed: m.checkpointOf(pi), Partial: m.partialStats(),
 	}
+}
+
+// scanStalled gathers, into m.wdCulprits, every core that owes
+// instructions yet shows no sign of forward progress at this beat:
+// a busy compute engine that will never finish, a post-setup DMA
+// moving zero bytes, or an idle engine whose issuable queue head was
+// skipped by issue. None of these states occur on a healthy core at
+// beat time (issue has already run), so the scan cannot false-positive
+// on cores that are merely waiting for dependencies or barriers.
+func (m *machine) scanStalled() {
+	m.wdCulprits = m.wdCulprits[:0]
+	for c := 0; c < m.ncores; c++ {
+		if m.pending[c] <= 0 {
+			continue
+		}
+		if m.coreStalled(c) {
+			m.wdCulprits = append(m.wdCulprits, c)
+		}
+	}
+}
+
+func (m *machine) coreStalled(c int) bool {
+	for e := 0; e < numEngines; e++ {
+		ei := c*numEngines + e
+		if nid := m.busyN[ei]; nid >= 0 {
+			n := &m.nodes[nid]
+			switch plan.Engine(e) {
+			case plan.EngineCompute:
+				if math.IsInf(n.finish, 1) {
+					return true
+				}
+			case plan.EngineLoad, plan.EngineStore:
+				if n.setupUntil <= m.now+eps && m.speedOf(c) == 0 {
+					return true
+				}
+			}
+			continue
+		}
+		if m.qPos[ei] < m.qOff[ei+1] && m.nodes[m.qBuf[m.qPos[ei]]].deps == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// hangDetected snapshots the run state into a typed HangDetected for
+// the culprits found by scanStalled.
+func (m *machine) hangDetected() *HangDetected {
+	pi := int(m.owner[m.wdCulprits[0]])
+	return &HangDetected{
+		Cores: append([]int(nil), m.wdCulprits...), Placement: pi, AtCycle: m.now,
+		Completed: m.checkpointOf(pi), Partial: m.partialStats(),
+	}
+}
+
+// hungPending lists cores that are hung while still owing
+// instructions, for the deadlock diagnostic.
+func (m *machine) hungPending() []int {
+	if m.fs == nil {
+		return nil
+	}
+	var out []int
+	for c := 0; c < m.ncores; c++ {
+		if m.fs.hung[c] && m.pending[c] > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // insertionSortByKey sorts the few due events of one step into the

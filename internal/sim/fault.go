@@ -63,15 +63,69 @@ func (f *CoreFailure) Error() string {
 		f.Core, f.Kind, f.AtCycle, len(f.Completed))
 }
 
+// HangDetected is the typed error the watchdog returns when one or
+// more cores with pending work have silently stopped making progress.
+// Unlike CoreFailure it is raised by detection, not by the fault
+// itself: the simulated time is the heartbeat at which the stall was
+// observed, not the cycle the hang was injected. It carries the same
+// recovery payload as CoreFailure — checkpoint and partial stats — so
+// recovery.Recover can re-map the suffix onto the survivors.
+type HangDetected struct {
+	// Cores lists every core the watchdog found stalled at this
+	// heartbeat, ascending. (A single SoC-level event — e.g. a power
+	// domain browning out — can stall several cores at once.)
+	Cores []int
+	// Placement indexes the placement of Cores[0] (-1 if unassigned).
+	Placement int
+	// AtCycle is the heartbeat at which the stall was detected; the
+	// detection latency is AtCycle minus the injection cycle, bounded
+	// by the heartbeat interval for a core that was mid-instruction.
+	AtCycle float64
+	// Completed is the checkpoint of the first stalled core's
+	// placement (same cut rule as CoreFailure.Completed).
+	Completed []graph.LayerID
+	// Partial holds the statistics accumulated up to AtCycle.
+	Partial Stats
+}
+
+func (h *HangDetected) Error() string {
+	return fmt.Sprintf("sim: watchdog: core %d hung (no progress) detected at cycle %.0f with %d layers checkpointed",
+		h.Cores[0], h.AtCycle, len(h.Completed))
+}
+
+// Corruption records one silently corrupted stratum: some DMA
+// transfer feeding the stratum delivered flipped bytes, and the
+// stratum-boundary checksum caught it when the stratum's last
+// instruction retired. Re-executing just that stratum (its inputs are
+// DRAM-resident at the boundary) repairs the run — the blast radius
+// is bounded by the checksum granularity.
+type Corruption struct {
+	// Placement indexes the placement the stratum belongs to.
+	Placement int
+	// Stratum is the index into the placement program's Strata.
+	Stratum int
+	// DetectedAtCycle is when the stratum's checksum was verified —
+	// the completion time of its last instruction.
+	DetectedAtCycle float64
+	// Transfers counts the corrupted DMA transfers in the stratum.
+	Transfers int
+}
+
 // faultState is the per-run mutable view of a fault.Plan: the merged
-// event timeline (fault.Timeline, throttles and deaths in firing
-// order) plus the current speed/liveness of every core. All buffers
-// are reusable so a pooled engine run injects faults without
-// steady-state allocation.
+// event timeline (fault.Timeline, in firing order) plus the current
+// effective speed/liveness of every core. The effective speed is the
+// product of the announced throttle factor and the silent slowdown
+// factor, forced to 0 while the core is hung; throttleF/silentF/hung
+// keep the components so a resume restores exactly the pre-hang
+// speed. All buffers are reusable so a pooled engine run injects
+// faults without steady-state allocation.
 type faultState struct {
 	plan       *fault.Plan
 	maxRetries int
-	speed      []float64
+	speed      []float64 // effective: throttleF * silentF, 0 while hung
+	throttleF  []float64
+	silentF    []float64
+	hung       []bool
 	dead       []bool
 	events     []fault.TimedEvent // merged timeline, pending from pos on
 	pos        int
@@ -80,33 +134,43 @@ type faultState struct {
 
 // firedEvent is one fault event applied at the current time.
 type firedEvent struct {
-	death    bool
+	kind     fault.EventKind
 	core     int
-	oldSpeed float64
-	newSpeed float64
+	oldSpeed float64 // effective speed before the event
+	newSpeed float64 // effective speed after the event
 }
 
 // init validates and loads a plan for ncores cores, reusing fs's
 // buffers. It reports whether the plan injects anything; an empty
-// plan leaves the fault-free simulation path untouched. Events naming
-// cores outside the architecture are dropped here — inert by contract.
+// plan leaves the fault-free simulation path untouched. Plans naming
+// cores outside the architecture are rejected with a typed
+// *fault.CoreRangeError.
 func (fs *faultState) init(p *fault.Plan, ncores int) (bool, error) {
 	if p.Empty() {
 		return false, nil
 	}
-	if err := p.Validate(); err != nil {
+	if err := p.ValidateFor(ncores); err != nil {
 		return false, err
 	}
 	fs.plan = p
 	fs.maxRetries = p.Retries()
 	if cap(fs.speed) < ncores {
 		fs.speed = make([]float64, ncores)
+		fs.throttleF = make([]float64, ncores)
+		fs.silentF = make([]float64, ncores)
+		fs.hung = make([]bool, ncores)
 		fs.dead = make([]bool, ncores)
 	}
 	fs.speed = fs.speed[:ncores]
+	fs.throttleF = fs.throttleF[:ncores]
+	fs.silentF = fs.silentF[:ncores]
+	fs.hung = fs.hung[:ncores]
 	fs.dead = fs.dead[:ncores]
 	for i := range fs.speed {
 		fs.speed[i] = 1
+		fs.throttleF[i] = 1
+		fs.silentF[i] = 1
+		fs.hung[i] = false
 		fs.dead[i] = false
 	}
 	fs.events = p.Timeline(ncores, fs.events)
@@ -135,24 +199,63 @@ func (fs *faultState) next() float64 {
 
 // fire pops and applies every event due at or before now, in time
 // order, and returns them for the simulator to act on (rescaling
-// in-flight compute, failing dead cores with pending work). The
-// returned slice is valid until the next call.
+// in-flight compute, freezing hung cores, failing dead cores with
+// pending work). Speed-affecting events (throttle, slowdown) landing
+// on a hung core update the component factor but emit oldSpeed ==
+// newSpeed == 0 — the effective speed stays zero until the resume.
+// The returned slice is valid until the next call.
 func (fs *faultState) fire(now float64) []firedEvent {
 	out := fs.fired[:0]
 	for fs.pos < len(fs.events) && fs.events[fs.pos].AtCycle <= now+eps {
 		ev := fs.events[fs.pos]
 		fs.pos++
-		if ev.Kind == fault.KindDeath {
-			fs.dead[ev.Core] = true
-			out = append(out, firedEvent{death: true, core: ev.Core})
-			continue
-		}
 		old := fs.speed[ev.Core]
-		fs.speed[ev.Core] = ev.Factor
-		out = append(out, firedEvent{core: ev.Core, oldSpeed: old, newSpeed: ev.Factor})
+		switch ev.Kind {
+		case fault.KindDeath:
+			fs.dead[ev.Core] = true
+			out = append(out, firedEvent{kind: ev.Kind, core: ev.Core})
+			continue
+		case fault.KindThrottle:
+			fs.throttleF[ev.Core] = ev.Factor
+		case fault.KindSlowdown:
+			fs.silentF[ev.Core] = ev.Factor
+		case fault.KindHang:
+			fs.hung[ev.Core] = true
+		case fault.KindResume:
+			fs.hung[ev.Core] = false
+		}
+		newSpeed := fs.throttleF[ev.Core] * fs.silentF[ev.Core]
+		if fs.hung[ev.Core] {
+			newSpeed = 0
+		}
+		fs.speed[ev.Core] = newSpeed
+		out = append(out, firedEvent{kind: ev.Kind, core: ev.Core, oldSpeed: old, newSpeed: newSpeed})
 	}
 	fs.fired = out
 	return out
+}
+
+// StratumLayers returns the layers of the program stratum a
+// Corruption names, mirroring the engines' checksum granularity: the
+// program's strata when it has them, otherwise one stratum per layer.
+func StratumLayers(p *plan.Program, stratum int) []graph.LayerID {
+	if len(p.Strata) == 0 {
+		return []graph.LayerID{graph.LayerID(stratum)}
+	}
+	return p.Strata[stratum]
+}
+
+// deadlockError builds the quiescent-machine diagnostic, shared by
+// both engines so the message (and thus error-comparing tests) stays
+// identical. When cores are silently hung with work outstanding the
+// message names them — that is the deadlock's cause, and the fix is a
+// watchdog.
+func deadlockError(now float64, completed, total int, hungPending []int) error {
+	if len(hungPending) > 0 {
+		return fmt.Errorf("sim: deadlock at t=%.0f with %d/%d instructions done; cores %v silently hung with pending work (set Config.WatchdogCycles to detect hangs)",
+			now, completed, total, hungPending)
+	}
+	return fmt.Errorf("sim: deadlock at t=%.0f with %d/%d instructions done", now, completed, total)
 }
 
 // checkpoint computes the recovery cut for a partially executed

@@ -115,16 +115,17 @@ func TestThrottleSlowsRun(t *testing.T) {
 		t.Errorf("throttled run %.0f not slower than clean %.0f",
 			hot.Stats.TotalCycles, clean.Stats.TotalCycles)
 	}
-	// Throttling an out-of-range core is inert.
-	same, err := faultRun(t, g, a, core.Base(), &fault.Plan{
+	// Throttling an out-of-range core is a configuration bug, rejected
+	// with a typed error before the run starts.
+	_, err = faultRun(t, g, a, core.Base(), &fault.Plan{
 		Throttles: []fault.Throttle{{Core: 17, AtCycle: 0, Factor: 0.25}},
 	})
-	if err != nil {
-		t.Fatal(err)
+	var cre *fault.CoreRangeError
+	if !errors.As(err, &cre) {
+		t.Fatalf("out-of-range throttle: got %v, want *fault.CoreRangeError", err)
 	}
-	if same.Stats.TotalCycles != clean.Stats.TotalCycles {
-		t.Errorf("inert throttle changed latency: %.0f vs %.0f",
-			same.Stats.TotalCycles, clean.Stats.TotalCycles)
+	if cre.Core != 17 || cre.NCores != a.NumCores() {
+		t.Errorf("CoreRangeError = %+v", cre)
 	}
 }
 

@@ -30,6 +30,7 @@ type node struct {
 	setupUntil float64 // DMA descriptor setup completes at this time
 	finish     float64 // scheduled completion (compute/barrier)
 	attempt    int     // DMA re-issues so far (fault injection)
+	flipped    bool    // delivered corrupted bytes (fault injection)
 }
 
 type engineState struct {
@@ -179,6 +180,56 @@ func RunConcurrentReference(a *arch.Arch, placements []Placement, cfg Config) (*
 		}
 	}
 
+	// Watchdog heartbeat (see Config.WatchdogCycles): armed only when
+	// faults are injected.
+	wdH := 0.0
+	if cfg.WatchdogCycles > 0 && fs != nil {
+		wdH = cfg.WatchdogCycles
+	}
+	nextBeat := wdH
+
+	// Stratum-boundary checksum accounting for silent-corruption
+	// detection (FlipRate > 0 only). Programs without strata checksum
+	// at every layer boundary instead.
+	flipOn := fs != nil && fs.plan.FlipRate > 0
+	var layerStr [][]int32
+	var strLeft, strFlips [][]int32
+	var corrupts []Corruption
+	if flipOn {
+		layerStr = make([][]int32, len(placements))
+		strLeft = make([][]int32, len(placements))
+		strFlips = make([][]int32, len(placements))
+		for pi, pl := range placements {
+			nl := pl.Program.Graph.Len()
+			ls := make([]int32, nl)
+			for i := range ls {
+				ls[i] = -1
+			}
+			ns := len(pl.Program.Strata)
+			if ns == 0 {
+				ns = nl
+				for l := 0; l < nl; l++ {
+					ls[l] = int32(l)
+				}
+			} else {
+				for si, s := range pl.Program.Strata {
+					for _, id := range s {
+						ls[id] = int32(si)
+					}
+				}
+			}
+			layerStr[pi] = ls
+			strLeft[pi] = make([]int32, ns)
+			strFlips[pi] = make([]int32, ns)
+		}
+		for nid := 0; nid < total; nid++ {
+			pi := progOf[nid]
+			if si := layerStr[pi][nodes[nid].in.Layer]; si >= 0 {
+				strLeft[pi][si]++
+			}
+		}
+	}
+
 	// SPM admission state, mirroring the event engine (spmcheck.go):
 	// owner bytes per node, reader counts filtered to genuine data
 	// reads, and per-core live totals.
@@ -261,6 +312,23 @@ func RunConcurrentReference(a *arch.Arch, placements []Placement, cfg Config) (*
 			layerDone[progOf[nid]][n.in.Layer]++
 			pending[c]--
 		}
+		if flipOn {
+			pi := progOf[nid]
+			if si := layerStr[pi][n.in.Layer]; si >= 0 {
+				if n.flipped {
+					strFlips[pi][si]++
+				}
+				strLeft[pi][si]--
+				// Stratum complete: its boundary checksum catches any
+				// corrupted transfer inside it here.
+				if strLeft[pi][si] == 0 && strFlips[pi][si] > 0 {
+					corrupts = append(corrupts, Corruption{
+						Placement: pi, Stratum: int(si),
+						DetectedAtCycle: t, Transfers: int(strFlips[pi][si]),
+					})
+				}
+			}
+		}
 		busyIntervals[c] = append(busyIntervals[c], [2]float64{n.start, t})
 		if cfg.CollectTrace {
 			trace = append(trace, Event{
@@ -302,6 +370,9 @@ func RunConcurrentReference(a *arch.Arch, placements []Placement, cfg Config) (*
 		for progress {
 			progress = false
 			for c := 0; c < ncores; c++ {
+				if fs != nil && fs.hung[c] {
+					continue // silently stalled: nothing issues until the resume
+				}
 				for e := range engines[c] {
 					es := &engines[c][e]
 					if es.busy >= 0 || es.pos >= len(es.queue) {
@@ -404,8 +475,9 @@ func RunConcurrentReference(a *arch.Arch, placements []Placement, cfg Config) (*
 		return append(chans, direct...)
 	}
 
-	// failCore snapshots the run state into a typed CoreFailure.
-	failCore := func(kind FailureKind, core int) *CoreFailure {
+	// partialStats snapshots the statistics accumulated so far, with
+	// idle time recomputed up to the current cycle.
+	partialStats := func() Stats {
 		partial := stats
 		partial.PerCore = append([]CoreStats(nil), stats.PerCore...)
 		partial.ProgramCycles = append([]float64(nil), stats.ProgramCycles...)
@@ -417,15 +489,78 @@ func RunConcurrentReference(a *arch.Arch, placements []Placement, cfg Config) (*
 			}
 			partial.PerCore[c].Idle = idle
 		}
-		pi := owner[core]
-		var comp []graph.LayerID
-		if pi >= 0 {
-			comp = checkpoint(placements[pi].Program, layerDone[pi], layerTotal[pi], layerStore[pi])
+		return partial
+	}
+
+	checkpointOf := func(pi int) []graph.LayerID {
+		if pi < 0 {
+			return nil
 		}
+		return checkpoint(placements[pi].Program, layerDone[pi], layerTotal[pi], layerStore[pi])
+	}
+
+	// failCore snapshots the run state into a typed CoreFailure.
+	failCore := func(kind FailureKind, core int) *CoreFailure {
+		pi := owner[core]
 		return &CoreFailure{
 			Kind: kind, Core: core, Placement: pi, AtCycle: now,
-			Completed: comp, Partial: partial,
+			Completed: checkpointOf(pi), Partial: partialStats(),
 		}
+	}
+
+	// coreStalled mirrors the event engine's watchdog evidence scan:
+	// a busy compute engine that will never finish, a post-setup DMA
+	// moving zero bytes, or an idle engine whose issuable queue head
+	// was skipped by issue. None of these occur on a healthy core
+	// after issueAll has run.
+	coreStalled := func(c int) bool {
+		for e := range engines[c] {
+			es := &engines[c][e]
+			if nid := es.busy; nid >= 0 {
+				n := &nodes[nid]
+				switch plan.Engine(e) {
+				case plan.EngineCompute:
+					if math.IsInf(n.finish, 1) {
+						return true
+					}
+				case plan.EngineLoad, plan.EngineStore:
+					if n.setupUntil <= now+eps && speedOf(c) == 0 {
+						return true
+					}
+				}
+				continue
+			}
+			if es.pos < len(es.queue) && nodes[es.queue[es.pos]].deps == 0 {
+				return true
+			}
+		}
+		return false
+	}
+
+	scanStalled := func() []int {
+		var culprits []int
+		for c := 0; c < ncores; c++ {
+			if pending[c] <= 0 {
+				continue
+			}
+			if coreStalled(c) {
+				culprits = append(culprits, c)
+			}
+		}
+		return culprits
+	}
+
+	hungPendingList := func() []int {
+		if fs == nil {
+			return nil
+		}
+		var out []int
+		for c := 0; c < ncores; c++ {
+			if fs.hung[c] && pending[c] > 0 {
+				out = append(out, c)
+			}
+		}
+		return out
 	}
 
 	for step := 0; completed < total; step++ {
@@ -433,20 +568,42 @@ func RunConcurrentReference(a *arch.Arch, placements []Placement, cfg Config) (*
 			return nil, err
 		}
 		// Fault events due now fire before new work issues: a throttle
-		// rescales the core's in-flight compute; a death fails the run
-		// if the core still owes instructions (and is inert otherwise).
+		// or silent slowdown rescales the core's in-flight compute; a
+		// hang freezes the core entirely; a death fails the run if the
+		// core still owes instructions (and is inert otherwise).
 		if fs != nil {
 			for _, ev := range fs.fire(now) {
-				if ev.death {
+				switch ev.kind {
+				case fault.KindDeath:
 					if owner[ev.core] >= 0 && pending[ev.core] > 0 {
 						return nil, failCore(FailCoreDeath, ev.core)
 					}
-					continue
-				}
-				if nid := engines[ev.core][plan.EngineCompute].busy; nid >= 0 {
-					n := &nodes[nid]
-					if n.finish > now {
-						n.finish = now + (n.finish-now)*ev.oldSpeed/ev.newSpeed
+				case fault.KindHang:
+					// Freeze in-flight compute: bank the unit-speed work
+					// left and park the node until the resume (if any).
+					// In-flight DMA freezes through allocate() (zero
+					// capacity, zero water-filled rate), and issueAll
+					// skips the core while it is hung.
+					if nid := engines[ev.core][plan.EngineCompute].busy; nid >= 0 {
+						n := &nodes[nid]
+						if n.finish > now && ev.oldSpeed > 0 {
+							n.remaining = (n.finish - now) * ev.oldSpeed
+							n.finish = math.Inf(1)
+						}
+					}
+				case fault.KindResume:
+					if nid := engines[ev.core][plan.EngineCompute].busy; nid >= 0 {
+						n := &nodes[nid]
+						if math.IsInf(n.finish, 1) && ev.newSpeed > 0 {
+							n.finish = now + n.remaining/ev.newSpeed
+						}
+					}
+				default: // announced throttle or silent slowdown
+					if nid := engines[ev.core][plan.EngineCompute].busy; nid >= 0 {
+						n := &nodes[nid]
+						if n.finish > now && ev.oldSpeed > 0 && ev.newSpeed > 0 {
+							n.finish = now + (n.finish-now)*ev.oldSpeed/ev.newSpeed
+						}
 					}
 				}
 			}
@@ -473,6 +630,23 @@ func RunConcurrentReference(a *arch.Arch, placements []Placement, cfg Config) (*
 					})
 				}
 				return nil, serr
+			}
+		}
+
+		// Watchdog beat: after issue (so an idle engine with an
+		// issuable head is genuine stall evidence).
+		beatBarren := false
+		if wdH > 0 && now >= nextBeat-eps {
+			if culprits := scanStalled(); len(culprits) > 0 {
+				pi := owner[culprits[0]]
+				return nil, &HangDetected{
+					Cores: culprits, Placement: pi, AtCycle: now,
+					Completed: checkpointOf(pi), Partial: partialStats(),
+				}
+			}
+			beatBarren = true
+			for nextBeat <= now+eps {
+				nextBeat += wdH
 			}
 		}
 
@@ -512,7 +686,15 @@ func RunConcurrentReference(a *arch.Arch, placements []Placement, cfg Config) (*
 			}
 		}
 		if math.IsInf(next, 1) {
-			return nil, fmt.Errorf("sim: deadlock at t=%.0f with %d/%d instructions done", now, completed, total)
+			// Quiescent. With the watchdog on, give it one more beat to
+			// name the culprits — unless the beat just ran and found
+			// none, in which case this is a genuine deadlock.
+			if wdH <= 0 || beatBarren {
+				return nil, deadlockError(now, completed, total, hungPendingList())
+			}
+		}
+		if wdH > 0 && nextBeat < next {
+			next = nextBeat
 		}
 		if next < now {
 			next = now
@@ -544,6 +726,11 @@ func RunConcurrentReference(a *arch.Arch, placements []Placement, cfg Config) (*
 				n.setupUntil = now + fault.BackoffCycles(a.DMASetupCycles, n.attempt)
 				continue
 			}
+			// A silent bit-flip corrupts the delivered bytes without any
+			// signal; the stratum-boundary checksum catches it later.
+			if flipOn && fs.plan.Flips(ch.nid, n.attempt) {
+				n.flipped = true
+			}
 			finishNode(ch.nid, now)
 		}
 		for c := 0; c < ncores; c++ {
@@ -570,5 +757,5 @@ func RunConcurrentReference(a *arch.Arch, placements []Placement, cfg Config) (*
 	for c := 0; c < ncores; c++ {
 		stats.PerCore[c].Idle = stats.TotalCycles - unionLength(busyIntervals[c])
 	}
-	return &Result{Stats: stats, Trace: trace}, nil
+	return &Result{Stats: stats, Trace: trace, Corruptions: corrupts}, nil
 }

@@ -128,10 +128,17 @@ func (s *Stats) EnergyMicroJoules(pjPerMAC, pjPerDRAMByte float64, int16Model bo
 	return (float64(s.TotalMACs())*macPJ + float64(s.TotalBytes())*pjPerDRAMByte) / 1e6
 }
 
-// Result bundles stats with an optional trace.
+// Result bundles stats with an optional trace and, under FlipRate
+// fault injection, the corruptions detected at stratum boundaries.
 type Result struct {
 	Stats Stats
 	Trace []Event
+	// Corruptions lists every stratum whose boundary checksum caught
+	// corrupted DMA bytes, in detection order (empty without FlipRate
+	// faults; identical between both engines). The run completes —
+	// silent corruption never stops execution — and the caller decides
+	// whether to re-execute the affected strata.
+	Corruptions []Corruption
 }
 
 // Config controls a simulation run.
@@ -159,6 +166,13 @@ type Config struct {
 	// run with a *SPMOverflowError when a core's footprint exceeds its
 	// capacity; set this to simulate a knowingly over-budget schedule.
 	NoSPMCheck bool
+	// WatchdogCycles enables the hang watchdog: per-core progress is
+	// checked every WatchdogCycles simulated cycles, and a core that
+	// owes instructions but shows no forward progress fails the run
+	// with a typed *HangDetected carrying the recovery checkpoint.
+	// Zero disables the watchdog. It only arms when Faults is non-empty
+	// (a fault-free run cannot stall), so it never perturbs clean runs.
+	WatchdogCycles float64
 }
 
 const eps = 1e-6

@@ -46,16 +46,21 @@ type TenantReport struct {
 // run's shape. It contains no wall-clock fields — same inputs marshal
 // byte-identically.
 type Report struct {
-	Arch      string         `json:"arch"`
-	ClockMHz  int            `json:"clock_mhz"`
-	Opt       string         `json:"opt"`
-	HorizonUS float64        `json:"horizon_us"`
-	Epochs    int            `json:"epochs"`
-	CoSims    int            `json:"co_sims"`
+	Arch      string  `json:"arch"`
+	ClockMHz  int     `json:"clock_mhz"`
+	Opt       string  `json:"opt"`
+	HorizonUS float64 `json:"horizon_us"`
+	Epochs    int     `json:"epochs"`
+	CoSims    int     `json:"co_sims"`
+	// DeadCores lists cores retired mid-horizon by detected hangs or
+	// announced failures; Failures logs the typed errors survived, in
+	// order. Both empty on a fault-free run.
+	DeadCores []int          `json:"dead_cores,omitempty"`
+	Failures  []string       `json:"failures,omitempty"`
 	Tenants   []TenantReport `json:"tenants"`
 }
 
-func buildReport(a *arch.Arch, optName string, horizonUS float64, epochs, coSims int, states []*tenantState) *Report {
+func buildReport(a *arch.Arch, optName string, horizonUS float64, epochs, coSims int, states []*tenantState, deadCores []int, failures []string) *Report {
 	r := &Report{
 		Arch:      a.Name,
 		ClockMHz:  a.ClockMHz,
@@ -63,6 +68,8 @@ func buildReport(a *arch.Arch, optName string, horizonUS float64, epochs, coSims
 		HorizonUS: horizonUS,
 		Epochs:    epochs,
 		CoSims:    coSims,
+		DeadCores: deadCores,
+		Failures:  failures,
 	}
 	clock := float64(a.ClockMHz)
 	for _, ts := range states {

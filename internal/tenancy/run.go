@@ -1,7 +1,9 @@
 package tenancy
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/arch"
 	"repro/internal/graph"
@@ -75,6 +77,13 @@ func Run(a *arch.Arch, tenants []Tenant, opts Options) (*Report, error) {
 	// Isolated baselines are fault-free by construction: interference
 	// must measure bus contention, not injected faults.
 	icfg := sim.Config{Ctx: opts.Sim.Ctx, NoSPMCheck: opts.Sim.NoSPMCheck}
+
+	// Degradation state: cores retired mid-horizon by a detected hang
+	// or an announced failure never host tenants again; the serving loop
+	// shrinks around them instead of erroring out.
+	dead := map[int]bool{}
+	alive := func() int { return a.NumCores() - len(dead) }
+	var failureLog []string
 
 	coSims := 0
 	isolated := map[*plan.Program]float64{}
@@ -169,7 +178,11 @@ func Run(a *arch.Arch, tenants []Tenant, opts Options) (*Report, error) {
 		ts.preempts++
 	}
 
-	runEpoch := func(admitted []*tenantState, D float64) error {
+	// runEpoch drives one epoch of duration D and reports the wall
+	// cycles actually consumed: D on success, the cut time when a
+	// co-run dies mid-epoch (the failure's typed error comes back for
+	// the caller's degradation path).
+	runEpoch := func(admitted []*tenantState, D float64) (float64, error) {
 		// Round 1 may mix resumed suffixes with full models.
 		hadSuffix := false
 		for _, ts := range admitted {
@@ -179,7 +192,7 @@ func Run(a *arch.Arch, tenants []Tenant, opts Options) (*Report, error) {
 		}
 		out, err := cosim(admitted)
 		if err != nil {
-			return err
+			return failCycle(err), err
 		}
 		L1 := out.Stats.ProgramCycles
 		R1 := maxOf(L1)
@@ -189,17 +202,17 @@ func Run(a *arch.Arch, tenants []Tenant, opts Options) (*Report, error) {
 			for i, ts := range admitted {
 				if L1[i] <= D+cycleEps {
 					if err := finish(ts, L1[i], ts.carried+L1[i]); err != nil {
-						return err
+						return D, err
 					}
 				} else {
 					preempt(ts, out.Trace, D)
 				}
 			}
-			return nil
+			return D, nil
 		}
 		for i, ts := range admitted {
 			if err := finish(ts, L1[i], ts.carried+L1[i]); err != nil {
-				return err
+				return R1, err
 			}
 		}
 		spent := R1
@@ -209,7 +222,7 @@ func Run(a *arch.Arch, tenants []Tenant, opts Options) (*Report, error) {
 		outS, LS := out, L1
 		if hadSuffix {
 			if outS, err = cosim(admitted); err != nil {
-				return err
+				return spent + failCycle(err), err
 			}
 			LS = outS.Stats.ProgramCycles
 		}
@@ -218,7 +231,7 @@ func Run(a *arch.Arch, tenants []Tenant, opts Options) (*Report, error) {
 			for i, ts := range admitted {
 				I, err := isolatedOf(ts)
 				if err != nil {
-					return err
+					return spent, err
 				}
 				account(ts, n, LS[i], LS[i], I)
 			}
@@ -228,11 +241,33 @@ func Run(a *arch.Arch, tenants []Tenant, opts Options) (*Report, error) {
 			for i, ts := range admitted {
 				if LS[i] <= rem+cycleEps {
 					if err := finish(ts, LS[i], LS[i]); err != nil {
-						return err
+						return D, err
 					}
 				} else {
 					preempt(ts, outS.Trace, rem)
 				}
+			}
+		}
+		return D, nil
+	}
+
+	// rePlace assigns cores to the admitted prefix, counting re-maps and
+	// recompiling every tenant for its (possibly new) subset.
+	rePlace := func(admitted []*tenantState, nowUS float64) error {
+		prev := make([][]int, len(admitted))
+		for i, ts := range admitted {
+			prev[i] = ts.cores
+		}
+		place(a, admitted, dead)
+		for i, ts := range admitted {
+			if ts.firstUS < 0 {
+				ts.firstUS = nowUS
+			}
+			if prev[i] != nil && !sameCores(prev[i], ts.cores) {
+				ts.remaps++
+			}
+			if err := setProgram(ts); err != nil {
+				return err
 			}
 		}
 		return nil
@@ -257,38 +292,113 @@ func Run(a *arch.Arch, tenants []Tenant, opts Options) (*Report, error) {
 		}
 		admitOrder(active)
 		admitted := active
-		if len(admitted) > a.NumCores() {
-			// Admission control: at most one tenant per core. The rest
-			// queue (checkpoints intact) until a slot frees.
-			for _, ts := range admitted[a.NumCores():] {
+		if len(admitted) > alive() {
+			// Admission control: at most one tenant per surviving core.
+			// The rest queue (checkpoints intact) until a slot frees.
+			for _, ts := range admitted[alive():] {
 				ts.cores = nil
 			}
-			admitted = admitted[:a.NumCores()]
+			admitted = admitted[:alive()]
 		}
-		prev := make([][]int, len(admitted))
-		for i, ts := range admitted {
-			prev[i] = ts.cores
-		}
-		place(a, admitted)
-		for i, ts := range admitted {
-			if ts.firstUS < 0 {
-				ts.firstUS = now / clock
-			}
-			if prev[i] != nil && !sameCores(prev[i], ts.cores) {
-				ts.remaps++
-			}
-			if err := setProgram(ts); err != nil {
-				return nil, err
-			}
+		if err := rePlace(admitted, now/clock); err != nil {
+			return nil, err
 		}
 		if len(admitted) > 0 && next-now > cycleEps {
-			if err := runEpoch(admitted, next-now); err != nil {
-				return nil, err
+			remaining := next - now
+			for remaining > cycleEps {
+				spent, err := runEpoch(admitted, remaining)
+				if err == nil {
+					break
+				}
+				cores, atCycle, comp, pi, ok := failureInfo(err)
+				if !ok {
+					return nil, err
+				}
+				// Degradation: retire the dead cores, keep serving on the
+				// survivors. The failed placement resumes from its typed
+				// checkpoint; every other admitted tenant loses its
+				// in-flight round (charged to carried, restarting from its
+				// last own checkpoint) — the co-run died without a trace to
+				// cut from.
+				for _, c := range cores {
+					dead[c] = true
+				}
+				failureLog = append(failureLog, err.Error())
+				if pi >= 0 && pi < len(admitted) {
+					ts := admitted[pi]
+					if ts.completed == nil {
+						ts.completed = make(map[graph.LayerID]bool, len(comp))
+					}
+					for _, id := range comp {
+						orig := id
+						if ts.isSuffix {
+							orig = ts.origin[id]
+						}
+						ts.completed[orig] = true
+					}
+				}
+				for _, ts := range admitted {
+					ts.carried += atCycle
+				}
+				remaining -= spent
+				if alive() == 0 {
+					return nil, fmt.Errorf("tenancy: every core lost to faults: %w", err)
+				}
+				if remaining <= cycleEps {
+					break
+				}
+				if len(admitted) > alive() {
+					for _, ts := range admitted[alive():] {
+						ts.cores = nil
+					}
+					admitted = admitted[:alive()]
+				}
+				// Isolated baselines are per-(program, subset); shrinking
+				// subsets recompile, so the cache keys stay valid.
+				if err := rePlace(admitted, now/clock); err != nil {
+					return nil, err
+				}
 			}
 			epochs++
 		}
 	}
-	return buildReport(a, opt.Name(), opts.horizonUS(), epochs, coSims, states), nil
+	return buildReport(a, opt.Name(), opts.horizonUS(), epochs, coSims, states, deadList(dead), failureLog), nil
+}
+
+// failureInfo unwraps a co-run error into its degradation facts: the
+// cores lost, the cut cycle (the failing run's local clock), the failed
+// placement's checkpoint, and that placement's index. ok is false for
+// errors that are not survivable core losses.
+func failureInfo(err error) (cores []int, atCycle float64, comp []graph.LayerID, placement int, ok bool) {
+	var cf *sim.CoreFailure
+	if errors.As(err, &cf) {
+		return []int{cf.Core}, cf.AtCycle, cf.Completed, cf.Placement, true
+	}
+	var hd *sim.HangDetected
+	if errors.As(err, &hd) {
+		return hd.Cores, hd.AtCycle, hd.Completed, hd.Placement, true
+	}
+	return nil, 0, nil, -1, false
+}
+
+// failCycle is the cut cycle of a survivable failure, 0 otherwise.
+func failCycle(err error) float64 {
+	if _, at, _, _, ok := failureInfo(err); ok {
+		return at
+	}
+	return 0
+}
+
+func deadList(dead map[int]bool) []int {
+	if len(dead) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(dead))
+	for c := range dead {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
 }
 
 func maxOf(xs []float64) float64 {

@@ -266,9 +266,20 @@ func admitOrder(states []*tenantState) {
 // cores go to the front of the order, one each. Assignment is sticky:
 // a tenant keeps the cores it already holds when its share allows,
 // minimizing re-maps (subsets are compile keys on this heterogeneous
-// platform — {0,1} and {1,2} are different programs).
-func place(a *arch.Arch, admitted []*tenantState) {
+// platform — {0,1} and {1,2} are different programs). Cores in the
+// dead set (lost to a failure or a detected hang) are never assigned.
+func place(a *arch.Arch, admitted []*tenantState, dead map[int]bool) {
 	rank := coreRank(a)
+	if len(dead) > 0 {
+		alive := rank[:0]
+		for _, c := range rank {
+			if !dead[c] {
+				alive = append(alive, c)
+			}
+		}
+		rank = alive
+	}
+	ncores := len(rank)
 	k := len(admitted)
 	if k == 0 {
 		return
@@ -277,8 +288,8 @@ func place(a *arch.Arch, admitted []*tenantState) {
 	for i := range share {
 		share[i] = 1
 	}
-	for extra := a.NumCores() - k; extra > 0; extra-- {
-		share[(a.NumCores()-k-extra)%k]++
+	for extra := ncores - k; extra > 0; extra-- {
+		share[(ncores-k-extra)%k]++
 	}
 	free := make(map[int]bool, a.NumCores())
 	for _, c := range rank {

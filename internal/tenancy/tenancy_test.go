@@ -46,14 +46,14 @@ func TestPlacePriorityAndSticky(t *testing.T) {
 
 	// Single tenant owns the platform.
 	solo := mk("solo", 1, 0)
-	place(a, []*tenantState{solo})
+	place(a, []*tenantState{solo}, nil)
 	if !sameCores(solo.cores, []int{0, 1, 2}) {
 		t.Errorf("solo cores = %v", solo.cores)
 	}
 
 	// Two tenants: the higher priority gets two cores, fastest first.
 	hi, lo := mk("hi", 2, 0), mk("lo", 1, 1)
-	place(a, []*tenantState{hi, lo})
+	place(a, []*tenantState{hi, lo}, nil)
 	if len(hi.cores) != 2 || len(lo.cores) != 1 {
 		t.Fatalf("shares hi=%v lo=%v", hi.cores, lo.cores)
 	}
@@ -63,7 +63,7 @@ func TestPlacePriorityAndSticky(t *testing.T) {
 
 	// A third arrival shrinks hi to one core; sticky keeps a held core.
 	third := mk("third", 1, 2)
-	place(a, []*tenantState{hi, lo, third})
+	place(a, []*tenantState{hi, lo, third}, nil)
 	if len(hi.cores) != 1 || len(lo.cores) != 1 || len(third.cores) != 1 {
 		t.Fatalf("three-way shares hi=%v lo=%v third=%v", hi.cores, lo.cores, third.cores)
 	}

@@ -20,9 +20,22 @@ type (
 	FaultThrottle = fault.Throttle
 	// FaultDeath is a hard core failure at a given cycle.
 	FaultDeath = fault.Death
+	// FaultHang is a silent core stall from a given cycle: the core
+	// stops retiring without any announcement, and only a watchdog
+	// (Config.WatchdogCycles) turns it into a typed HangDetected.
+	FaultHang = fault.Hang
+	// FaultSlowdown is a silent throttle — invisible to the scheduler,
+	// unlike FaultThrottle which models an announced DVFS step.
+	FaultSlowdown = fault.Slowdown
 	// CoreFailure is the typed error a fault-injected run returns when
 	// a core becomes unusable; it carries the recovery checkpoint.
 	CoreFailure = sim.CoreFailure
+	// HangDetected is the typed error the watchdog raises when cores
+	// with pending work silently stop making progress.
+	HangDetected = sim.HangDetected
+	// Corruption records one silently corrupted stratum, caught by the
+	// stratum-boundary checksum.
+	Corruption = sim.Corruption
 	// RecoveryResult describes a completed degradation path: failures
 	// handled, surviving cores, recompiled suffix, merged statistics.
 	RecoveryResult = recovery.Result
@@ -44,12 +57,22 @@ type FaultReport struct {
 	// the run completed without losing a core (drops and throttles may
 	// still have slowed it — see Stats.PerCore Retries).
 	Failures []*CoreFailure
+	// Hangs lists every silent stall the watchdog caught and recovery
+	// retired. Empty unless the run was watched (RunWithFaultsWatched)
+	// and a hang fired mid-run.
+	Hangs []*HangDetected
+	// Corruptions lists the strata whose boundary checksums caught
+	// flipped DMA payloads during the (final) run. The run still
+	// completes; repair re-executes just these strata (see
+	// recovery.StratumGraph).
+	Corruptions []Corruption
 	// Recovery is the degradation path taken, nil if no core was lost.
 	Recovery *RecoveryResult
 }
 
-// Degraded reports whether the run lost at least one core.
-func (fr *FaultReport) Degraded() bool { return len(fr.Failures) > 0 }
+// Degraded reports whether the run lost at least one core — to an
+// announced failure or a detected hang.
+func (fr *FaultReport) Degraded() bool { return len(fr.Failures)+len(fr.Hangs) > 0 }
 
 // RunWithFaults compiles g, simulates it under the fault plan, and —
 // if a core dies — re-partitions the unexecuted suffix onto the
@@ -57,28 +80,48 @@ func (fr *FaultReport) Degraded() bool { return len(fr.Failures) > 0 }
 // cascading failures. Recovery never changes numerics (see
 // ValidateRecovery); it only costs latency, which the report's merged
 // statistics account for, re-dispatch penalties included.
+//
+// Hangs in the plan are injected but not detected: without a watchdog
+// a silent stall surfaces as a deadlock error. Use RunWithFaultsWatched
+// to arm detection.
 func RunWithFaults(g *Graph, a *Arch, opt Options, plan *FaultPlan) (*FaultReport, error) {
+	return RunWithFaultsWatched(g, a, opt, plan, 0)
+}
+
+// RunWithFaultsWatched is RunWithFaults with a progress watchdog: every
+// watchdogCycles simulated cycles, each core with pending work is
+// checked for forward progress, and a silent stall becomes a typed
+// HangDetected that recovery handles exactly like a core death (the
+// hung cores are retired, the suffix re-runs on the survivors).
+// watchdogCycles <= 0 disables the watchdog.
+func RunWithFaultsWatched(g *Graph, a *Arch, opt Options, plan *FaultPlan, watchdogCycles float64) (*FaultReport, error) {
 	res, err := Compile(g, a, opt)
 	if err != nil {
 		return nil, err
 	}
-	simCfg := sim.Config{Faults: plan}
+	simCfg := sim.Config{Faults: plan, WatchdogCycles: watchdogCycles}
 	out, err := sim.Run(res.Program, simCfg)
 	if err == nil {
-		return &FaultReport{Report: Report{Stats: out.Stats, Arch: a, Config: opt.Name()}}, nil
+		return &FaultReport{
+			Report:      Report{Stats: out.Stats, Arch: a, Config: opt.Name()},
+			Corruptions: out.Corruptions,
+		}, nil
 	}
 	var cf *CoreFailure
-	if !errors.As(err, &cf) {
+	var hd *HangDetected
+	if !errors.As(err, &cf) && !errors.As(err, &hd) {
 		return nil, err
 	}
-	rec, err := recovery.Recover(g, a, cf, recovery.Options{Opt: opt, Sim: simCfg})
+	rec, err := recovery.RecoverFrom(g, a, err, recovery.Options{Opt: opt, Sim: simCfg})
 	if err != nil {
 		return nil, fmt.Errorf("npu: run failed and could not recover: %w", err)
 	}
 	return &FaultReport{
-		Report:   Report{Stats: rec.MergedStats(), Arch: a, Config: opt.Name()},
-		Failures: rec.Failures,
-		Recovery: rec,
+		Report:      Report{Stats: rec.MergedStats(), Arch: a, Config: opt.Name()},
+		Failures:    rec.Failures,
+		Hangs:       rec.Hangs,
+		Corruptions: rec.Final.Corruptions,
+		Recovery:    rec,
 	}, nil
 }
 
